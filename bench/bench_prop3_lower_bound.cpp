@@ -1,0 +1,104 @@
+// Proposition 3 / Lemma 7 — the Omega(log alpha) lower bound on the BCG
+// price of anarchy, exhibited by regular graphs near the Moore bound.
+//
+// For the cage/Moore family (and hypercubes as a contrast family) this
+// harness reports the exact stability window, the PoA at the top of the
+// window, and the ratio PoA / log2(alpha): if the paper's bound has the
+// right shape, the ratio stays bounded below along the family while both
+// alpha and PoA grow with the diameter.
+#include <cmath>
+#include <iostream>
+
+#include "bnf.hpp"
+
+int main(int argc, char** argv) {
+  bnf::arg_parser args("bench_prop3_lower_bound",
+                       "Prop 3: PoA of Moore-bound-family graphs vs "
+                       "log2(alpha)");
+  args.add_flag("csv", "emit CSV instead of a table");
+  args.parse(argc, argv);
+
+  struct family_row {
+    std::string name;
+    bnf::graph g;
+  };
+  const family_row family[] = {
+      {"K4 (Moore D=1)", bnf::complete(4)},
+      {"petersen (3,5)-cage", bnf::petersen()},
+      {"heawood (3,6)-cage", bnf::heawood()},
+      {"mcgee (3,7)-cage", bnf::mcgee()},
+      {"tutte_coxeter (3,8)-cage", bnf::tutte_coxeter()},
+      {"hoffman_singleton (7,5)", bnf::hoffman_singleton()},
+      {"hypercube Q3", bnf::hypercube(3)},
+      {"hypercube Q4", bnf::hypercube(4)},
+      {"hypercube Q5", bnf::hypercube(5)},
+  };
+
+  bnf::text_table table({"graph", "n", "k", "D", "girth", "moore-ratio",
+                         "window", "alpha*", "log2(alpha*)", "PoA",
+                         "PoA/log2(alpha*)"});
+
+  for (const auto& [name, g] : family) {
+    const auto record = bnf::compute_stability_record(g);
+    const bool stable_somewhere =
+        record.alpha_min < record.alpha_max ||
+        record.stable_at(record.alpha_min);
+    const int diam = bnf::diameter(g);
+    const auto k = bnf::regular_degree(g);
+    const double moore_ratio =
+        k ? static_cast<double>(g.order()) /
+                static_cast<double>(bnf::moore_bound(*k, diam))
+          : 0.0;
+
+    std::string alpha_text = "-";
+    std::string log_text = "-";
+    std::string poa_text = "-";
+    std::string ratio_text = "-";
+    if (stable_somewhere) {
+      // Probe at the expensive end of the window, where the lower-bound
+      // construction binds (alpha = Theta(2^D)).
+      const double alpha = record.alpha_min < record.alpha_max
+                               ? record.alpha_max
+                               : record.alpha_min;
+      const bnf::connection_game game{g.order(), alpha,
+                                      bnf::link_rule::bilateral};
+      const double poa = bnf::price_of_anarchy(g, game);
+      const double log_alpha = std::log2(alpha);
+      alpha_text = bnf::fmt_double(alpha, 2);
+      log_text = bnf::fmt_double(log_alpha, 3);
+      poa_text = bnf::fmt_double(poa, 4);
+      ratio_text =
+          log_alpha > 0 ? bnf::fmt_double(poa / log_alpha, 4) : "-";
+    }
+
+    std::string window_text = "empty";
+    if (stable_somewhere) {
+      window_text = "(";
+      window_text += bnf::fmt_alpha(record.alpha_min);
+      window_text += ", ";
+      window_text += bnf::fmt_alpha(record.alpha_max);
+      window_text += "]";
+    }
+    table.add_row({name, std::to_string(g.order()),
+                   k ? std::to_string(*k) : "-", std::to_string(diam),
+                   std::to_string(bnf::girth(g)),
+                   bnf::fmt_double(moore_ratio, 3), window_text, alpha_text,
+                   log_text, poa_text, ratio_text});
+  }
+
+  std::cout << "=== Prop 3 / Lemma 7: Omega(log2 alpha) PoA family ===\n";
+  if (args.get_flag("csv")) {
+    table.to_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout
+      << "\nReading: along the cage/Moore family (moore-ratio near 1), "
+         "alpha* and PoA both grow with\ndiameter D while PoA / "
+         "log2(alpha*) stays bounded below — the Omega(log2 alpha) shape "
+         "of\nProp 3. The hypercube contrast family drifts far from the "
+         "Moore bound and falls out of\nthe stable set (empty windows): "
+         "the lower-bound construction really does need near-Moore\n"
+         "density.\n";
+  return 0;
+}

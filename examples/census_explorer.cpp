@@ -1,0 +1,91 @@
+// Census explorer — the paper's Section 5 methodology, interactively.
+//
+// Enumerates every connected topology on n vertices up to isomorphism,
+// and for a chosen link cost prints the equilibrium landscape of both
+// games: how many topologies are pairwise stable / Nash, the best and
+// worst of them, and the worst stable network as an edge list.
+//
+//   $ ./census_explorer [--n 7] [--tau 8]
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bnf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bnf;
+  arg_parser args("census_explorer",
+                  "equilibrium landscape over all connected topologies");
+  args.add_int("n", 7, "number of players (<= 8 for this explorer)");
+  args.add_double("tau", 8.0, "total per-edge cost");
+  args.parse(argc, argv);
+
+  const int n = static_cast<int>(args.get_int("n"));
+  const double tau = args.get_double("tau");
+  const double alpha_bcg = tau / 2.0;
+  const double alpha_ucg = tau;
+  expects(n >= 3 && n <= 8, "census_explorer: requires 3 <= n <= 8");
+
+  const connection_game bcg{n, alpha_bcg, link_rule::bilateral};
+
+  std::cout << "== census of connected topologies on " << n
+            << " vertices (tau = " << tau << ") ==\n\n";
+
+  long long total = 0;
+  long long stable_count = 0;
+  long long nash_count = 0;
+  double best_stable = 1e18;
+  double worst_stable = 0.0;
+  graph worst_graph(n);
+  graph best_graph(n);
+  double stable_poa_sum = 0.0;
+  double stable_edge_sum = 0.0;
+
+  for_each_graph(
+      n,
+      [&](const graph& g) {
+        ++total;
+        if (is_pairwise_stable(g, alpha_bcg)) {
+          ++stable_count;
+          const double poa = price_of_anarchy(g, bcg);
+          stable_poa_sum += poa;
+          stable_edge_sum += g.size();
+          if (poa > worst_stable) {
+            worst_stable = poa;
+            worst_graph = g;
+          }
+          if (poa < best_stable) {
+            best_stable = poa;
+            best_graph = g;
+          }
+        }
+        if (is_ucg_nash(g, alpha_ucg)) ++nash_count;
+      },
+      {.connected_only = true});
+
+  std::cout << "topologies examined: " << total << "\n\n";
+  std::cout << "BCG at alpha = " << alpha_bcg << ":\n";
+  std::cout << "  pairwise stable: " << stable_count << " ("
+            << fmt_double(100.0 * stable_count / total, 2) << "%)\n";
+  if (stable_count > 0) {
+    std::cout << "  avg PoA " << fmt_double(stable_poa_sum / stable_count, 4)
+              << ", avg links "
+              << fmt_double(stable_edge_sum / stable_count, 2) << "\n";
+    std::cout << "  best stable  (PoA " << fmt_double(best_stable, 4)
+              << "): " << to_string(best_graph) << "\n";
+    std::cout << "  worst stable (PoA " << fmt_double(worst_stable, 4)
+              << "): " << to_string(worst_graph) << "\n";
+    std::cout << "  worst-case envelope min(sqrt(a), n/sqrt(a)) = "
+              << fmt_double(std::min(std::sqrt(alpha_bcg),
+                                     n / std::sqrt(alpha_bcg)),
+                            3)
+              << " (Prop 4)\n";
+  }
+  std::cout << "\nUCG at alpha = " << alpha_ucg << ":\n";
+  std::cout << "  Nash-supportable: " << nash_count << " ("
+            << fmt_double(100.0 * nash_count / total, 2) << "%)\n";
+  std::cout << "\n(The BCG set is typically the larger one: consent blocks "
+               "the re-wiring moves that\nprune inefficient equilibria in "
+               "the unilateral game — the paper's Section 4.4.)\n";
+  return 0;
+}

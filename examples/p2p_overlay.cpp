@@ -1,0 +1,81 @@
+// P2P overlay formation — unilateral vs bilateral rules, head to head.
+//
+// In an overlay where any peer can open a connection on its own (and
+// foot the bill), the game is Fabrikant et al.'s UCG; if connections
+// require a handshake with shared cost, it is the BCG. This example runs
+// both formation processes from scratch at the SAME total per-edge cost
+// and compares the networks selfish peers end up with — reproducing the
+// paper's Section 5 observation that consent changes the outcome.
+//
+//   $ ./p2p_overlay [--peers 9] [--tau 6] [--seed 1]
+#include <iostream>
+
+#include "bnf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bnf;
+  arg_parser args("p2p_overlay",
+                  "UCG vs BCG overlay formation at matched total edge cost");
+  args.add_int("peers", 9, "number of peers (<= 11)");
+  args.add_double("tau", 6.0, "total per-edge cost (alpha_UCG = tau, "
+                              "alpha_BCG = tau/2)");
+  args.add_int("seed", 1, "dynamics seed");
+  args.parse(argc, argv);
+
+  const int n = static_cast<int>(args.get_int("peers"));
+  const double tau = args.get_double("tau");
+  rng random(static_cast<std::uint64_t>(args.get_int("seed")));
+
+  std::cout << "== overlay formation among " << n
+            << " peers, total per-edge cost " << tau << " ==\n\n";
+
+  // Unilateral overlay: exact best-response dynamics.
+  const auto ucg_run = run_br_dynamics(empty_ucg_state(n), tau, random);
+  const graph ucg_net = ucg_run.state.realize();
+  const connection_game ucg_game{n, tau, link_rule::unilateral};
+
+  // Bilateral overlay: myopic consent dynamics at alpha = tau/2.
+  const auto bcg_run = run_pairwise_dynamics(graph(n), tau / 2.0, random);
+  const graph& bcg_net = bcg_run.final;
+  const connection_game bcg_game{n, tau / 2.0, link_rule::bilateral};
+
+  text_table table({"rule", "links", "diameter", "social cost", "optimum",
+                    "PoA", "equilibrium?"});
+  table.add_row(
+      {"UCG (no consent)", std::to_string(ucg_net.size()),
+       std::to_string(diameter(ucg_net)),
+       fmt_double(social_cost(ucg_net, ucg_game).finite, 1),
+       fmt_double(optimal_social_cost(ucg_game), 1),
+       fmt_double(price_of_anarchy(ucg_net, ucg_game), 3),
+       is_ucg_nash(ucg_net, tau) ? "Nash" : "no"});
+  table.add_row(
+      {"BCG (consent)", std::to_string(bcg_net.size()),
+       std::to_string(diameter(bcg_net)),
+       fmt_double(social_cost(bcg_net, bcg_game).finite, 1),
+       fmt_double(optimal_social_cost(bcg_game), 1),
+       fmt_double(price_of_anarchy(bcg_net, bcg_game), 3),
+       is_pairwise_stable(bcg_net, tau / 2.0) ? "pairwise stable" : "no"});
+  table.print(std::cout);
+
+  std::cout << "\nUCG overlay: " << to_string(ucg_net) << "\n";
+  std::cout << "BCG overlay: " << to_string(bcg_net) << "\n";
+
+  // The paper's Section 5 mechanism in one line each.
+  std::cout << "\nSampling 30 dynamics runs per rule to average over "
+               "equilibria:\n";
+  const auto bcg_sample = sample_bcg_equilibria(n, tau / 2.0, random,
+                                                {.runs = 30});
+  const auto ucg_sample = sample_ucg_equilibria(n, tau, random, {.runs = 30});
+  std::cout << "  BCG: " << bcg_sample.equilibria.size()
+            << " distinct stable networks, avg links "
+            << fmt_double(bcg_sample.average_edges(), 2) << ", avg PoA "
+            << fmt_double(bcg_sample.average_poa(), 3) << "\n";
+  std::cout << "  UCG: " << ucg_sample.equilibria.size()
+            << " distinct Nash networks,  avg links "
+            << fmt_double(ucg_sample.average_edges(), 2) << ", avg PoA "
+            << fmt_double(ucg_sample.average_poa(), 3) << "\n";
+  std::cout << "\n(The paper's Figure 3 effect: with consent and shared "
+               "costs, stable overlays tend to\ncarry more links than the "
+               "unilateral ones at the same total edge cost.)\n";
+  return 0;
+}

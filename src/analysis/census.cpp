@@ -1,0 +1,207 @@
+#include "analysis/census.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+#include "equilibria/ucg_nash.hpp"
+#include "game/connection_game.hpp"
+#include "game/efficiency.hpp"
+#include "gen/enumerate.hpp"
+#include "graph/paths.hpp"
+#include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bnf {
+
+namespace {
+
+constexpr double plus_infinity = std::numeric_limits<double>::infinity();
+
+// Everything alpha-independent about one topology, computed in one pass.
+struct graph_profile {
+  int edges{0};
+  long long distance_total{0};
+  stability_record bcg;
+  double ucg_min_alpha{0.0};
+  double ucg_max_alpha{plus_infinity};
+};
+
+graph_profile profile_graph(const graph& g) {
+  graph_profile profile;
+  profile.edges = g.size();
+  profile.distance_total = total_distance(g).sum;
+  profile.bcg =
+      stability_record{0.0, plus_infinity, true};
+
+  std::vector<std::pair<long long, long long>> savings;
+  for (const auto& [u, v] : g.non_edges()) {
+    const long long dec_u = edge_addition_decrease(g, u, v);
+    const long long dec_v = edge_addition_decrease(g, v, u);
+    savings.emplace_back(std::min(dec_u, dec_v), std::max(dec_u, dec_v));
+    profile.bcg.alpha_min =
+        std::max(profile.bcg.alpha_min,
+                 static_cast<double>(std::min(dec_u, dec_v)));
+    profile.ucg_min_alpha = std::max(
+        profile.ucg_min_alpha, static_cast<double>(std::max(dec_u, dec_v)));
+  }
+  for (const auto& [least, most] : savings) {
+    if (static_cast<double>(least) == profile.bcg.alpha_min && most > least) {
+      profile.bcg.boundary_stable = false;
+    }
+  }
+
+  for (const auto& [u, v] : g.edges()) {
+    const long long inc_u = edge_deletion_increase(g, u, v);
+    const long long inc_v = edge_deletion_increase(g, v, u);
+    if (std::min(inc_u, inc_v) < infinite_delta) {
+      profile.bcg.alpha_max =
+          std::min(profile.bcg.alpha_max,
+                   static_cast<double>(std::min(inc_u, inc_v)));
+    }
+    if (std::max(inc_u, inc_v) < infinite_delta) {
+      profile.ucg_max_alpha =
+          std::min(profile.ucg_max_alpha,
+                   static_cast<double>(std::max(inc_u, inc_v)));
+    }
+  }
+  return profile;
+}
+
+struct accumulator_cell {
+  long long count{0};
+  double poa_sum{0.0};
+  double poa_max{0.0};
+  double poa_min{std::numeric_limits<double>::infinity()};
+  double edge_sum{0.0};
+
+  void add(double poa, int edges) {
+    ++count;
+    poa_sum += poa;
+    poa_max = std::max(poa_max, poa);
+    poa_min = std::min(poa_min, poa);
+    edge_sum += edges;
+  }
+  void merge(const accumulator_cell& other) {
+    count += other.count;
+    poa_sum += other.poa_sum;
+    poa_max = std::max(poa_max, other.poa_max);
+    poa_min = std::min(poa_min, other.poa_min);
+    edge_sum += other.edge_sum;
+  }
+  [[nodiscard]] equilibrium_set_stats stats() const {
+    equilibrium_set_stats result;
+    result.count = count;
+    result.max_poa = poa_max;
+    if (count > 0) {
+      result.min_poa = poa_min;
+      result.avg_poa = poa_sum / static_cast<double>(count);
+      result.avg_edges = edge_sum / static_cast<double>(count);
+    }
+    return result;
+  }
+};
+
+constexpr double ucg_filter_eps = 1e-9;
+
+}  // namespace
+
+std::vector<census_point> census_sweep(int n, std::span<const double> taus,
+                                       const census_options& options) {
+  expects(n >= 2 && n <= max_enumeration_order,
+          "census_sweep: requires 2 <= n <= 10");
+  for (const double tau : taus) {
+    expects(tau > 0, "census_sweep: total edge costs must be positive");
+  }
+
+  const auto keys = all_graph_keys(n, {.connected_only = true,
+                                       .threads = options.threads});
+
+  // Precompute the optimal social cost per grid point and game.
+  const std::size_t grid = taus.size();
+  std::vector<double> opt_bcg(grid);
+  std::vector<double> opt_ucg(grid);
+  for (std::size_t t = 0; t < grid; ++t) {
+    opt_bcg[t] = optimal_social_cost(
+        connection_game{n, taus[t] / 2.0, link_rule::bilateral});
+    opt_ucg[t] = optimal_social_cost(
+        connection_game{n, taus[t], link_rule::unilateral});
+  }
+
+  std::vector<accumulator_cell> bcg_total(grid);
+  std::vector<accumulator_cell> ucg_total(grid);
+  std::mutex merge_mutex;
+
+  const int threads =
+      options.threads > 0 ? options.threads : default_thread_count();
+  parallel_for_chunks(keys.size(), threads, [&](std::size_t begin,
+                                                std::size_t end) {
+    std::vector<accumulator_cell> bcg_local(grid);
+    std::vector<accumulator_cell> ucg_local(grid);
+    for (std::size_t index = begin; index < end; ++index) {
+      const graph g = graph::from_key64(n, keys[index]);
+      const graph_profile profile = profile_graph(g);
+
+      for (std::size_t t = 0; t < grid; ++t) {
+        const double alpha_bcg = taus[t] / 2.0;
+        if (profile.bcg.stable_at(alpha_bcg)) {
+          const double social = 2.0 * alpha_bcg * profile.edges +
+                                static_cast<double>(profile.distance_total);
+          bcg_local[t].add(social / opt_bcg[t], profile.edges);
+        }
+        if (options.include_ucg) {
+          const double alpha_ucg = taus[t];
+          const bool passes_filters =
+              profile.ucg_min_alpha <= alpha_ucg + ucg_filter_eps &&
+              alpha_ucg <= profile.ucg_max_alpha + ucg_filter_eps;
+          if (passes_filters && is_ucg_nash(g, alpha_ucg)) {
+            const double social = alpha_ucg * profile.edges +
+                                  static_cast<double>(profile.distance_total);
+            ucg_local[t].add(social / opt_ucg[t], profile.edges);
+          }
+        }
+      }
+    }
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t t = 0; t < grid; ++t) {
+      bcg_total[t].merge(bcg_local[t]);
+      ucg_total[t].merge(ucg_local[t]);
+    }
+  });
+
+  std::vector<census_point> points(grid);
+  for (std::size_t t = 0; t < grid; ++t) {
+    points[t].tau = taus[t];
+    points[t].alpha_bcg = taus[t] / 2.0;
+    points[t].alpha_ucg = taus[t];
+    points[t].bcg = bcg_total[t].stats();
+    points[t].ucg = ucg_total[t].stats();
+  }
+  return points;
+}
+
+std::vector<census_graph_record> build_census_records(
+    int n, const census_options& options) {
+  expects(n >= 2 && n <= 8,
+          "build_census_records: materialized records guard n <= 8");
+  const auto keys = all_graph_keys(n, {.connected_only = true,
+                                       .threads = options.threads});
+  std::vector<census_graph_record> records(keys.size());
+
+  const int threads =
+      options.threads > 0 ? options.threads : default_thread_count();
+  parallel_for_chunks(keys.size(), threads,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          const graph g = graph::from_key64(n, keys[i]);
+                          const graph_profile profile = profile_graph(g);
+                          records[i] = census_graph_record{
+                              keys[i],          profile.edges,
+                              profile.distance_total, profile.bcg,
+                              profile.ucg_min_alpha,  profile.ucg_max_alpha};
+                        }
+                      });
+  return records;
+}
+
+}  // namespace bnf

@@ -1,0 +1,73 @@
+// The exhaustive equilibrium census behind the paper's empirical Section 5
+// (Figures 2 and 3): enumerate every connected topology on n vertices up
+// to isomorphism, decide for each link cost on a grid which topologies are
+// equilibria — pairwise stable in the BCG, Nash-supportable in the UCG —
+// and aggregate the average/worst price of anarchy and average link count
+// over each equilibrium set.
+//
+// The two games are aligned by TOTAL per-edge cost tau (the paper plots
+// log(alpha) for the UCG against log(2*alpha) for the BCG):
+//      alpha_UCG = tau,   alpha_BCG = tau / 2.
+//
+// Per-graph stability data is computed once (exact integer deltas) and
+// evaluated against every grid point; the expensive UCG Nash search runs
+// only on graphs surviving the paper's "fast checks" (footnote 8).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "equilibria/pairwise_stability.hpp"
+#include "graph/graph.hpp"
+
+namespace bnf {
+
+/// Aggregates over one game's equilibrium set at one link cost.
+struct equilibrium_set_stats {
+  long long count{0};
+  double avg_poa{0.0};
+  double max_poa{0.0};  // price of anarchy (worst equilibrium)
+  double min_poa{0.0};  // price of stability (best equilibrium)
+  double avg_edges{0.0};
+};
+
+/// One grid point of the census sweep.
+struct census_point {
+  double tau{0.0};        // total per-edge cost
+  double alpha_bcg{0.0};  // tau / 2
+  double alpha_ucg{0.0};  // tau
+  equilibrium_set_stats bcg;
+  equilibrium_set_stats ucg;
+};
+
+struct census_options {
+  bool include_ucg{true};
+  int threads{0};  // 0 = hardware concurrency
+};
+
+/// Run the full census at every total-edge-cost in `taus`.
+/// Requires 2 <= n <= 10 (n=8 takes seconds; n=10, the paper's setting,
+/// takes minutes and ~1 GB as it walks 11.7M topologies).
+[[nodiscard]] std::vector<census_point> census_sweep(
+    int n, std::span<const double> taus, const census_options& options = {});
+
+/// Per-topology census record for small n (<= 8): everything needed to
+/// re-derive equilibrium sets at any alpha without touching the graph.
+struct census_graph_record {
+  std::uint64_t key{0};  // canonical key (order implied by the census)
+  int edges{0};
+  long long distance_total{0};  // sum over ordered pairs
+  stability_record bcg;         // exact pairwise-stability predicate
+  /// Largest one-endpoint saving over missing links: UCG-Nash needs
+  /// alpha >= this (else someone adds a link unilaterally).
+  double ucg_min_alpha{0.0};
+  /// Smallest over edges of the larger endpoint severance increase:
+  /// UCG-Nash needs alpha <= this (else some edge has no willing buyer).
+  double ucg_max_alpha{0.0};
+};
+
+/// Materialized per-topology records, sorted by canonical key.
+[[nodiscard]] std::vector<census_graph_record> build_census_records(
+    int n, const census_options& options = {});
+
+}  // namespace bnf

@@ -1,0 +1,90 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+namespace {
+
+std::string count_or_dash(long long count) {
+  return count > 0 ? std::to_string(count) : "-";
+}
+
+std::string stat_or_dash(long long count, double value, int precision = 3) {
+  return count > 0 ? fmt_double(value, precision) : "-";
+}
+
+}  // namespace
+
+text_table figure2_table(std::span<const census_point> points) {
+  text_table table({"tau", "log2(tau)", "alpha_BCG", "#stable_BCG",
+                    "avgPoA_BCG", "alpha_UCG", "#nash_UCG", "avgPoA_UCG"});
+  for (const auto& point : points) {
+    table.add_row({fmt_double(point.tau), fmt_double(std::log2(point.tau), 2),
+                   fmt_double(point.alpha_bcg), count_or_dash(point.bcg.count),
+                   stat_or_dash(point.bcg.count, point.bcg.avg_poa, 4),
+                   fmt_double(point.alpha_ucg), count_or_dash(point.ucg.count),
+                   stat_or_dash(point.ucg.count, point.ucg.avg_poa, 4)});
+  }
+  return table;
+}
+
+text_table figure3_table(std::span<const census_point> points) {
+  text_table table({"tau", "log2(tau)", "alpha_BCG", "#stable_BCG",
+                    "avgLinks_BCG", "alpha_UCG", "#nash_UCG", "avgLinks_UCG"});
+  for (const auto& point : points) {
+    table.add_row({fmt_double(point.tau), fmt_double(std::log2(point.tau), 2),
+                   fmt_double(point.alpha_bcg), count_or_dash(point.bcg.count),
+                   stat_or_dash(point.bcg.count, point.bcg.avg_edges, 3),
+                   fmt_double(point.alpha_ucg), count_or_dash(point.ucg.count),
+                   stat_or_dash(point.ucg.count, point.ucg.avg_edges, 3)});
+  }
+  return table;
+}
+
+text_table worst_case_table(std::span<const census_point> points, int n) {
+  text_table table({"tau", "alpha_BCG", "#stable_BCG", "maxPoA_BCG",
+                    "sqrt(alpha)", "min(sqrt,n/sqrt)", "ratio"});
+  for (const auto& point : points) {
+    const double alpha = point.alpha_bcg;
+    const double root = std::sqrt(alpha);
+    const double envelope = std::min(root, static_cast<double>(n) / root);
+    table.add_row(
+        {fmt_double(point.tau), fmt_double(alpha),
+         count_or_dash(point.bcg.count),
+         stat_or_dash(point.bcg.count, point.bcg.max_poa, 4), fmt_double(root),
+         fmt_double(envelope),
+         stat_or_dash(point.bcg.count,
+                      point.bcg.count > 0 ? point.bcg.max_poa / envelope : 0.0,
+                      4)});
+  }
+  return table;
+}
+
+text_table price_of_stability_table(std::span<const census_point> points) {
+  text_table table({"tau", "alpha_BCG", "#stable_BCG", "PoS_BCG", "PoA_BCG",
+                    "alpha_UCG", "#nash_UCG", "PoS_UCG", "PoA_UCG"});
+  for (const auto& point : points) {
+    table.add_row({fmt_double(point.tau), fmt_double(point.alpha_bcg),
+                   count_or_dash(point.bcg.count),
+                   stat_or_dash(point.bcg.count, point.bcg.min_poa, 4),
+                   stat_or_dash(point.bcg.count, point.bcg.max_poa, 4),
+                   fmt_double(point.alpha_ucg), count_or_dash(point.ucg.count),
+                   stat_or_dash(point.ucg.count, point.ucg.min_poa, 4),
+                   stat_or_dash(point.ucg.count, point.ucg.max_poa, 4)});
+  }
+  return table;
+}
+
+void write_csv_file(const text_table& table, const std::string& path) {
+  std::ofstream out(path);
+  expects(out.good(), "write_csv_file: cannot open " + path);
+  table.to_csv(out);
+  expects(out.good(), "write_csv_file: write failed for " + path);
+}
+
+}  // namespace bnf

@@ -1,0 +1,84 @@
+#include "analysis/structure.hpp"
+
+#include <algorithm>
+
+#include "equilibria/pairwise_stability.hpp"
+#include "gen/enumerate.hpp"
+#include "graph/paths.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+const char* to_string(topology_class cls) {
+  switch (cls) {
+    case topology_class::tree:
+      return "tree";
+    case topology_class::unicyclic:
+      return "unicyclic";
+    case topology_class::multicyclic:
+      return "multicyclic";
+  }
+  return "?";
+}
+
+topology_class classify_topology(const graph& g) {
+  expects(g.order() >= 1 && is_connected(g),
+          "classify_topology: requires a connected graph");
+  const int excess = g.size() - (g.order() - 1);
+  if (excess == 0) return topology_class::tree;
+  if (excess == 1) return topology_class::unicyclic;
+  return topology_class::multicyclic;
+}
+
+structure_census analyze_structure(std::span<const graph> family) {
+  expects(!family.empty(), "analyze_structure: empty family");
+  structure_census census;
+  long long diameter_sum = 0;
+  long long max_degree_sum = 0;
+  census.min_diameter = unreachable_distance;
+  census.max_diameter = 0;
+
+  for (const graph& g : family) {
+    switch (classify_topology(g)) {
+      case topology_class::tree:
+        ++census.trees;
+        break;
+      case topology_class::unicyclic:
+        ++census.unicyclic;
+        break;
+      case topology_class::multicyclic:
+        ++census.multicyclic;
+        break;
+    }
+    const int diam = diameter(g);
+    diameter_sum += diam;
+    census.min_diameter = std::min(census.min_diameter, diam);
+    census.max_diameter = std::max(census.max_diameter, diam);
+    int max_degree = 0;
+    for (int v = 0; v < g.order(); ++v) {
+      max_degree = std::max(max_degree, g.degree(v));
+    }
+    max_degree_sum += max_degree;
+  }
+  census.avg_diameter =
+      static_cast<double>(diameter_sum) / static_cast<double>(family.size());
+  census.avg_max_degree = static_cast<double>(max_degree_sum) /
+                          static_cast<double>(family.size());
+  return census;
+}
+
+structure_census stable_set_structure(int n, double alpha) {
+  expects(n >= 2 && n <= 8, "stable_set_structure: guard 2 <= n <= 8");
+  std::vector<graph> stable;
+  for_each_graph(
+      n,
+      [&](const graph& g) {
+        if (is_pairwise_stable(g, alpha)) stable.push_back(g);
+      },
+      {.connected_only = true});
+  expects(!stable.empty(),
+          "stable_set_structure: no stable topology at this alpha");
+  return analyze_structure(stable);
+}
+
+}  // namespace bnf

@@ -1,0 +1,50 @@
+// Structural anatomy of equilibrium sets: Figure 3 reports only the mean
+// link count; the mechanism behind it is WHICH topology classes survive
+// at each link cost (trees vs unicyclic vs denser graphs, and how far
+// from the efficient diameter they sit). This module classifies a set of
+// graphs and aggregates the composition per link cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bnf {
+
+/// Coarse cyclomatic class of a connected graph.
+enum class topology_class {
+  tree,         // m = n-1
+  unicyclic,    // m = n
+  multicyclic,  // m > n
+};
+
+[[nodiscard]] const char* to_string(topology_class cls);
+
+/// Classify a connected graph. Requires connected g with n >= 1.
+[[nodiscard]] topology_class classify_topology(const graph& g);
+
+/// Composition of a family of connected graphs.
+struct structure_census {
+  long long trees{0};
+  long long unicyclic{0};
+  long long multicyclic{0};
+  double avg_diameter{0.0};
+  double avg_max_degree{0.0};
+  int min_diameter{0};
+  int max_diameter{0};
+
+  [[nodiscard]] long long total() const {
+    return trees + unicyclic + multicyclic;
+  }
+};
+
+/// Aggregate structural statistics over a set of connected graphs.
+/// Requires a non-empty span of connected graphs.
+[[nodiscard]] structure_census analyze_structure(std::span<const graph> family);
+
+/// Structural composition of the BCG pairwise-stable set at one link
+/// cost, over all connected topologies on n vertices (n <= 8 guard).
+[[nodiscard]] structure_census stable_set_structure(int n, double alpha);
+
+}  // namespace bnf

@@ -1,0 +1,19 @@
+// Link-cost grids for the figure sweeps. The paper plots equilibrium
+// quality against log link cost, so grids are geometric.
+#pragma once
+
+#include <vector>
+
+namespace bnf {
+
+/// Geometric grid from lo to hi (inclusive, within rounding) with
+/// `per_octave` points per doubling. Requires 0 < lo <= hi, per_octave >= 1.
+[[nodiscard]] std::vector<double> log_grid(double lo, double hi,
+                                           int per_octave);
+
+/// The default total-edge-cost grid for the Figure 2/3 sweeps at size n:
+/// tau from 1/2 to just past 2*n^2 (all equilibria are trees beyond n^2),
+/// two points per octave.
+[[nodiscard]] std::vector<double> default_tau_grid(int n);
+
+}  // namespace bnf

@@ -1,0 +1,40 @@
+// Umbrella header for bilatnet — strategic network formation games.
+//
+// Reproduces Corbo & Parkes, "The Price of Selfish Behavior in Bilateral
+// Network Formation" (PODC 2005): the bilateral connection game (BCG) with
+// pairwise stability, the unilateral connection game (UCG) of Fabrikant et
+// al., and the full experimental pipeline of the paper.
+#pragma once
+
+#include "analysis/census.hpp"
+#include "analysis/report.hpp"
+#include "analysis/structure.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/welfare.hpp"
+#include "dynamics/br_dynamics.hpp"
+#include "dynamics/intermediary.hpp"
+#include "dynamics/pairwise_dynamics.hpp"
+#include "dynamics/sampler.hpp"
+#include "equilibria/convexity.hpp"
+#include "equilibria/link_convexity.hpp"
+#include "equilibria/pairwise_nash.hpp"
+#include "equilibria/pairwise_stability.hpp"
+#include "equilibria/proper.hpp"
+#include "equilibria/transfers.hpp"
+#include "equilibria/ucg_nash.hpp"
+#include "game/connection_game.hpp"
+#include "game/efficiency.hpp"
+#include "gen/enumerate.hpp"
+#include "gen/named.hpp"
+#include "gen/random.hpp"
+#include "graph/canonical.hpp"
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+#include "graph/paths.hpp"
+#include "util/arg_parse.hpp"
+#include "util/bitops.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"

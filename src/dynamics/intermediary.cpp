@@ -1,0 +1,117 @@
+#include "dynamics/intermediary.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "game/connection_game.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+const char* to_string(intermediary_policy policy) {
+  switch (policy) {
+    case intermediary_policy::random_move:
+      return "random";
+    case intermediary_policy::greedy_social:
+      return "greedy-social";
+    case intermediary_policy::prefer_additions:
+      return "additions-first";
+    case intermediary_policy::prefer_severances:
+      return "severances-first";
+  }
+  return "?";
+}
+
+namespace {
+
+double social_after(const graph& g, const pairwise_move& move, double alpha,
+                    const connection_game& game) {
+  graph changed = g;
+  if (move.type == pairwise_move::kind::add) {
+    changed.add_edge(move.u, move.v);
+  } else {
+    changed.remove_edge(move.u, move.v);
+  }
+  const agent_cost cost = social_cost(changed, game);
+  // Disconnected outcomes rank behind every connected one.
+  return cost.is_finite() ? cost.finite
+                          : std::numeric_limits<double>::max() / 2 +
+                                cost.unreachable;
+  (void)alpha;
+}
+
+std::size_t select_move(const std::vector<pairwise_move>& moves,
+                        const graph& g, double alpha,
+                        intermediary_policy policy, rng& random) {
+  const connection_game game{g.order(), alpha, link_rule::bilateral};
+  switch (policy) {
+    case intermediary_policy::random_move:
+      return static_cast<std::size_t>(
+          random.below(static_cast<std::uint64_t>(moves.size())));
+
+    case intermediary_policy::greedy_social: {
+      std::size_t best = 0;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < moves.size(); ++i) {
+        const double cost = social_after(g, moves[i], alpha, game);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+        }
+      }
+      return best;
+    }
+
+    case intermediary_policy::prefer_additions:
+    case intermediary_policy::prefer_severances: {
+      const auto preferred = policy == intermediary_policy::prefer_additions
+                                 ? pairwise_move::kind::add
+                                 : pairwise_move::kind::sever;
+      std::vector<std::size_t> pool;
+      for (std::size_t i = 0; i < moves.size(); ++i) {
+        if (moves[i].type == preferred) pool.push_back(i);
+      }
+      if (pool.empty()) {
+        return static_cast<std::size_t>(
+            random.below(static_cast<std::uint64_t>(moves.size())));
+      }
+      return pool[random.below(static_cast<std::uint64_t>(pool.size()))];
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+intermediary_result run_intermediary_dynamics(
+    const graph& start, double alpha, intermediary_policy policy, rng& random,
+    const intermediary_options& options) {
+  expects(alpha > 0, "run_intermediary_dynamics: requires alpha > 0");
+  intermediary_result result{start, 0, false, 0.0};
+
+  while (result.steps < options.max_steps) {
+    const auto moves = improving_moves(result.final, alpha);
+    if (moves.empty()) {
+      result.converged = true;
+      break;
+    }
+    const auto& move =
+        moves[select_move(moves, result.final, alpha, policy, random)];
+    if (move.type == pairwise_move::kind::add) {
+      result.final.add_edge(move.u, move.v);
+    } else {
+      result.final.remove_edge(move.u, move.v);
+    }
+    ++result.steps;
+  }
+
+  const connection_game game{result.final.order(), alpha,
+                             link_rule::bilateral};
+  const agent_cost cost = social_cost(result.final, game);
+  result.social_cost = cost.is_finite()
+                           ? cost.finite
+                           : std::numeric_limits<double>::infinity();
+  return result;
+}
+
+}  // namespace bnf

@@ -1,0 +1,52 @@
+// Intermediary-controlled formation dynamics — the paper's second
+// future-work direction (Section 6): "The dynamics of network formation
+// can be controlled by an intermediary, subject to equilibrium
+// constraints suggested by the dynamic network formation process."
+//
+// The intermediary cannot force links (players stay selfish: every move
+// still has to be improving for the movers), but it chooses WHICH
+// improving move executes each round. Different selection policies steer
+// the myopic process into different pairwise-stable networks; this module
+// implements a policy suite so the ablation bench can measure how much
+// equilibrium quality an intermediary can buy within the same
+// equilibrium constraints.
+#pragma once
+
+#include "dynamics/pairwise_dynamics.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace bnf {
+
+/// Move-selection policies for the intermediary.
+enum class intermediary_policy {
+  random_move,        // baseline: uniformly random improving move
+  greedy_social,      // the move that most reduces social cost
+  prefer_additions,   // connect first, sever only when nothing to add
+  prefer_severances,  // prune first, add only when nothing to sever
+};
+
+[[nodiscard]] const char* to_string(intermediary_policy policy);
+
+struct intermediary_options {
+  long long max_steps{100000};
+};
+
+struct intermediary_result {
+  graph final;
+  long long steps{0};
+  bool converged{false};
+  /// Social cost of the absorbed network (finite iff connected).
+  double social_cost{0.0};
+};
+
+/// Run intermediary-scheduled myopic dynamics at link cost alpha in the
+/// BCG, starting from `start`. Every executed move is improving for the
+/// moving player(s); the policy only breaks ties among available moves.
+/// The absorbing states are exactly the pairwise stable networks, i.e.
+/// the same equilibrium constraints as the uncontrolled process.
+[[nodiscard]] intermediary_result run_intermediary_dynamics(
+    const graph& start, double alpha, intermediary_policy policy, rng& random,
+    const intermediary_options& options = {});
+
+}  // namespace bnf

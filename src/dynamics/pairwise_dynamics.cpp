@@ -1,0 +1,71 @@
+#include "dynamics/pairwise_dynamics.hpp"
+
+#include "game/connection_game.hpp"
+#include "graph/paths.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+namespace {
+
+// Cost change for endpoint x from toggling edge (x,y): lexicographic
+// (unreachable, finite) delta of alpha*deg_x + distsum_x.
+agent_cost toggled_cost(const graph& g, double alpha, int x, int y,
+                        bool adding) {
+  graph changed = adding ? g.with_edge(x, y) : g.without_edge(x, y);
+  return bcg_player_cost(changed, alpha, x);
+}
+
+}  // namespace
+
+std::vector<pairwise_move> improving_moves(const graph& g, double alpha) {
+  expects(alpha > 0, "improving_moves: requires alpha > 0");
+  std::vector<pairwise_move> moves;
+
+  for (const auto& [u, v] : g.edges()) {
+    const agent_cost cost_u = bcg_player_cost(g, alpha, u);
+    const agent_cost cost_v = bcg_player_cost(g, alpha, v);
+    if (toggled_cost(g, alpha, u, v, false) < cost_u ||
+        toggled_cost(g, alpha, v, u, false) < cost_v) {
+      moves.push_back({pairwise_move::kind::sever, u, v});
+    }
+  }
+  for (const auto& [u, v] : g.non_edges()) {
+    const agent_cost cost_u = bcg_player_cost(g, alpha, u);
+    const agent_cost cost_v = bcg_player_cost(g, alpha, v);
+    const agent_cost new_u = toggled_cost(g, alpha, u, v, true);
+    const agent_cost new_v = toggled_cost(g, alpha, v, u, true);
+    const bool blocks =
+        (new_u < cost_u && new_v <= cost_v) ||
+        (new_v < cost_v && new_u <= cost_u);
+    if (blocks) moves.push_back({pairwise_move::kind::add, u, v});
+  }
+  return moves;
+}
+
+pairwise_dynamics_result run_pairwise_dynamics(
+    const graph& start, double alpha, rng& random,
+    const pairwise_dynamics_options& options) {
+  expects(alpha > 0, "run_pairwise_dynamics: requires alpha > 0");
+  pairwise_dynamics_result result{start, 0, false, {}};
+
+  while (result.steps < options.max_steps) {
+    const auto moves = improving_moves(result.final, alpha);
+    if (moves.empty()) {
+      result.converged = true;
+      break;
+    }
+    const auto& move =
+        moves[random.below(static_cast<std::uint64_t>(moves.size()))];
+    if (move.type == pairwise_move::kind::add) {
+      result.final.add_edge(move.u, move.v);
+    } else {
+      result.final.remove_edge(move.u, move.v);
+    }
+    if (options.keep_trace) result.trace.push_back(move);
+    ++result.steps;
+  }
+  return result;
+}
+
+}  // namespace bnf

@@ -1,0 +1,54 @@
+// Myopic bilateral link dynamics for the BCG (the natural decentralized
+// process whose absorbing states are exactly the pairwise stable graphs):
+// at each step a uniformly random improving move is applied, where a move
+// is either
+//   - severing an edge one endpoint strictly gains from dropping, or
+//   - adding a missing link that strictly helps one endpoint and weakly
+//     helps the other (the Definition 3 blocking condition).
+// Disconnected intermediate states are handled with the lexicographic
+// (unreachable count, finite cost) order: connecting components is always
+// strictly improving, matching the paper's infinite-distance convention.
+//
+// The process can cycle for some alpha; a step cap makes every run
+// terminate, reporting whether it absorbed at a pairwise stable graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace bnf {
+
+struct pairwise_dynamics_options {
+  long long max_steps{100000};
+  /// Record the applied move sequence (for traces/tests).
+  bool keep_trace{false};
+};
+
+struct pairwise_move {
+  enum class kind { add, sever };
+  kind type{};
+  int u{-1};
+  int v{-1};
+};
+
+struct pairwise_dynamics_result {
+  graph final;
+  long long steps{0};
+  bool converged{false};  // true iff absorbed (no improving move remains)
+  std::vector<pairwise_move> trace;
+};
+
+/// Run the dynamics from `start` at link cost alpha.
+[[nodiscard]] pairwise_dynamics_result run_pairwise_dynamics(
+    const graph& start, double alpha, rng& random,
+    const pairwise_dynamics_options& options = {});
+
+/// All improving moves available at g (empty iff pairwise stable when g is
+/// connected).
+[[nodiscard]] std::vector<pairwise_move> improving_moves(const graph& g,
+                                                         double alpha);
+
+}  // namespace bnf

@@ -1,0 +1,56 @@
+#include "equilibria/convexity.hpp"
+
+#include "equilibria/pairwise_stability.hpp"
+#include "graph/paths.hpp"
+#include "util/bitops.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+long long bundle_deletion_increase(const graph& g, int i,
+                                   std::uint64_t bundle) {
+  expects(i >= 0 && i < g.order(),
+          "bundle_deletion_increase: player out of range");
+  expects((bundle & ~g.neighbors(i)) == 0,
+          "bundle_deletion_increase: bundle must be incident edges of i");
+  const distance_summary before = distance_sum(g, i);
+  graph cut = g;
+  for_each_bit(bundle, [&](int w) { cut.remove_edge(i, w); });
+  const distance_summary after = distance_sum(cut, i);
+  if (after.unreached > before.unreached) return infinite_delta;
+  return after.sum - before.sum;
+}
+
+bool is_cost_convex_at(const graph& g, int i, std::uint64_t bundle) {
+  const long long joint = bundle_deletion_increase(g, i, bundle);
+  if (joint >= infinite_delta) return true;  // infinity dominates any sum
+  long long single_sum = 0;
+  bool single_infinite = false;
+  for_each_bit(bundle, [&](int w) {
+    const long long inc = bundle_deletion_increase(g, i, bit(w));
+    if (inc >= infinite_delta) single_infinite = true;
+    single_sum += inc;
+  });
+  if (single_infinite) return false;  // finite joint, infinite single: fails
+  return joint >= single_sum;
+}
+
+bool is_cost_convex_for_player(const graph& g, int i) {
+  expects(g.degree(i) <= 20, "is_cost_convex_for_player: degree too large");
+  bool convex = true;
+  for_each_subset(g.neighbors(i), [&](std::uint64_t bundle) {
+    if (convex && popcount(bundle) >= 2 && !is_cost_convex_at(g, i, bundle)) {
+      convex = false;
+    }
+  });
+  return convex;
+}
+
+bool is_cost_convex(const graph& g) {
+  for (int i = 0; i < g.order(); ++i) {
+    if (!is_cost_convex_for_player(g, i)) return false;
+  }
+  return true;
+}
+
+}  // namespace bnf

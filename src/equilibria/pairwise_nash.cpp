@@ -1,0 +1,45 @@
+#include "equilibria/pairwise_nash.hpp"
+
+#include "equilibria/convexity.hpp"
+#include "equilibria/pairwise_stability.hpp"
+#include "graph/paths.hpp"
+#include "util/bitops.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+bool is_bcg_nash_supported(const graph& g, double alpha) {
+  expects(alpha > 0, "is_bcg_nash_supported: requires alpha > 0");
+  if (!is_connected(g)) return false;
+  for (int i = 0; i < g.order(); ++i) {
+    expects(g.degree(i) <= 20, "is_bcg_nash_supported: degree too large");
+    bool deviates = false;
+    // Dropping bundle B saves alpha*|B| and costs the distance increase.
+    for_each_subset(g.neighbors(i), [&](std::uint64_t bundle) {
+      if (deviates || bundle == 0) return;
+      const long long inc = bundle_deletion_increase(g, i, bundle);
+      if (inc >= infinite_delta) return;
+      if (alpha * popcount(bundle) > static_cast<double>(inc)) {
+        deviates = true;
+      }
+    });
+    if (deviates) return false;
+  }
+  return true;
+}
+
+bool is_pairwise_nash(const graph& g, double alpha) {
+  expects(alpha > 0, "is_pairwise_nash: requires alpha > 0");
+  if (!is_bcg_nash_supported(g, alpha)) return false;
+  // No blocking pair: identical to the addition half of Definition 3.
+  for (const auto& [u, v] : g.non_edges()) {
+    const auto dec_u = static_cast<double>(edge_addition_decrease(g, u, v));
+    const auto dec_v = static_cast<double>(edge_addition_decrease(g, v, u));
+    const bool blocks = (dec_u > alpha && dec_v >= alpha) ||
+                        (dec_v > alpha && dec_u >= alpha);
+    if (blocks) return false;
+  }
+  return true;
+}
+
+}  // namespace bnf

@@ -1,0 +1,125 @@
+#include "equilibria/pairwise_stability.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "graph/paths.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+long long edge_deletion_increase(const graph& g, int u, int v) {
+  expects(g.has_edge(u, v), "edge_deletion_increase: (u,v) must be an edge");
+  const distance_summary before = distance_sum(g, u);
+  const graph cut = g.without_edge(u, v);
+  const distance_summary after = distance_sum(cut, u);
+  if (after.unreached > before.unreached) return infinite_delta;
+  return after.sum - before.sum;
+}
+
+long long edge_addition_decrease(const graph& g, int u, int v) {
+  expects(u != v && !g.has_edge(u, v),
+          "edge_addition_decrease: (u,v) must be a non-edge");
+  const distance_summary before = distance_sum(g, u);
+  const graph joined = g.with_edge(u, v);
+  const distance_summary after = distance_sum(joined, u);
+  if (before.unreached > after.unreached) return infinite_delta;
+  return before.sum - after.sum;
+}
+
+stability_record compute_stability_record(const graph& g) {
+  expects(is_connected(g),
+          "compute_stability_record: requires a connected graph");
+  stability_record record{0.0, std::numeric_limits<double>::infinity(), true};
+
+  // Collect (least, most) interested savings per missing link, then decide
+  // the boundary case against the final alpha_min.
+  std::vector<std::pair<long long, long long>> savings;
+  for (const auto& [u, v] : g.non_edges()) {
+    const long long dec_u = edge_addition_decrease(g, u, v);
+    const long long dec_v = edge_addition_decrease(g, v, u);
+    savings.emplace_back(std::min(dec_u, dec_v), std::max(dec_u, dec_v));
+    record.alpha_min = std::max(
+        record.alpha_min, static_cast<double>(std::min(dec_u, dec_v)));
+  }
+  for (const auto& [least, most] : savings) {
+    if (static_cast<double>(least) == record.alpha_min && most > least) {
+      record.boundary_stable = false;
+    }
+  }
+
+  for (const auto& [u, v] : g.edges()) {
+    const long long inc_u = edge_deletion_increase(g, u, v);
+    const long long inc_v = edge_deletion_increase(g, v, u);
+    const long long binding = std::min(inc_u, inc_v);
+    if (binding < infinite_delta) {
+      record.alpha_max =
+          std::min(record.alpha_max, static_cast<double>(binding));
+    }
+  }
+  return record;
+}
+
+stability_interval compute_stability_interval(const graph& g) {
+  return compute_stability_record(g).interval();
+}
+
+bool is_pairwise_stable(const graph& g, double alpha) {
+  expects(alpha > 0, "is_pairwise_stable: requires alpha > 0");
+  return !find_stability_violation(g, alpha).has_value();
+}
+
+std::string stability_violation::describe() const {
+  std::ostringstream out;
+  switch (type) {
+    case kind::severance:
+      out << "endpoint " << u << " strictly gains by severing (" << u << ","
+          << v << ")";
+      break;
+    case kind::addition:
+      out << "pair (" << u << "," << v
+          << ") blocks: adding the link strictly helps one endpoint and "
+             "weakly helps the other";
+      break;
+    case kind::disconnected:
+      out << "graph is disconnected";
+      break;
+  }
+  return out.str();
+}
+
+std::optional<stability_violation> find_stability_violation(const graph& g,
+                                                            double alpha) {
+  expects(alpha > 0, "find_stability_violation: requires alpha > 0");
+  if (!is_connected(g)) {
+    return stability_violation{stability_violation::kind::disconnected, -1,
+                               -1};
+  }
+  // Severance: an endpoint strictly gains iff alpha > increase. An
+  // infinite increase (bridge) is never worth severing at any alpha.
+  for (const auto& [u, v] : g.edges()) {
+    const long long inc_u = edge_deletion_increase(g, u, v);
+    if (inc_u < infinite_delta && static_cast<double>(inc_u) < alpha) {
+      return stability_violation{stability_violation::kind::severance, u, v};
+    }
+    const long long inc_v = edge_deletion_increase(g, v, u);
+    if (inc_v < infinite_delta && static_cast<double>(inc_v) < alpha) {
+      return stability_violation{stability_violation::kind::severance, v, u};
+    }
+  }
+  // Addition: blocks iff one endpoint strictly gains (dec > alpha) and the
+  // other does not strictly lose (dec >= alpha).
+  for (const auto& [u, v] : g.non_edges()) {
+    const auto dec_u = static_cast<double>(edge_addition_decrease(g, u, v));
+    const auto dec_v = static_cast<double>(edge_addition_decrease(g, v, u));
+    const bool blocks = (dec_u > alpha && dec_v >= alpha) ||
+                        (dec_v > alpha && dec_u >= alpha);
+    if (blocks) {
+      return stability_violation{stability_violation::kind::addition, u, v};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bnf

@@ -1,0 +1,95 @@
+// Pairwise stability (Jackson–Wolinsky; paper Definition 3) and the
+// interval characterization of Lemma 2.
+//
+// A connected graph G is pairwise stable for link cost alpha iff
+//     alpha_min(G) < alpha <= alpha_max(G),
+// where alpha_min is the largest distance saving of the *least-interested*
+// endpoint over all missing links, and alpha_max is the smallest distance
+// increase any endpoint suffers from severing one of its links (bridges
+// impose no constraint: severing one costs infinitely much).
+//
+// All deltas are exact integers (hop counts); infinities are explicit.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace bnf {
+
+/// Sentinel for an infinite distance delta (severing a bridge / linking
+/// across components). Large enough to dominate, small enough to add.
+inline constexpr long long infinite_delta = 1LL << 40;
+
+/// Distance-cost increase to endpoint u from severing edge (u,v):
+///   sum_j d(u,j)(G - uv) - sum_j d(u,j)(G).
+/// Returns infinite_delta if the removal disconnects u from v's side.
+/// Requires (u,v) in E.
+[[nodiscard]] long long edge_deletion_increase(const graph& g, int u, int v);
+
+/// Distance-cost saving to endpoint u from adding edge (u,v):
+///   sum_j d(u,j)(G) - sum_j d(u,j)(G + uv).
+/// Returns infinite_delta if u and v lie in different components.
+/// Requires (u,v) not in E.
+[[nodiscard]] long long edge_addition_decrease(const graph& g, int u, int v);
+
+/// The Lemma 2 stability window. Stable iff alpha_min < alpha <= alpha_max.
+struct stability_interval {
+  double alpha_min{0.0};
+  double alpha_max{0.0};  // +infinity when no deletion binds (e.g. trees)
+
+  [[nodiscard]] bool nonempty() const { return alpha_min < alpha_max; }
+  [[nodiscard]] bool contains(double alpha) const {
+    return alpha > 0 && alpha > alpha_min && alpha <= alpha_max;
+  }
+};
+
+/// Compute the stability window of a connected graph. Requires connected g
+/// (disconnected graphs are never pairwise stable against bridging adds;
+/// see is_pairwise_stable).
+[[nodiscard]] stability_interval compute_stability_interval(const graph& g);
+
+/// Exact per-alpha stability predicate derived from one pass over the
+/// graph. Definition 3 deviates from the open Lemma-2 interval in one
+/// measure-zero case: at alpha == alpha_min, if EVERY missing link whose
+/// least-interested saving attains alpha_min has BOTH endpoints saving
+/// exactly alpha_min, then nobody strictly gains and the graph is stable.
+struct stability_record {
+  double alpha_min{0.0};
+  double alpha_max{0.0};
+  bool boundary_stable{true};  // stable at alpha == alpha_min?
+
+  [[nodiscard]] bool stable_at(double alpha) const {
+    if (!(alpha > 0) || alpha > alpha_max) return false;
+    return alpha > alpha_min || (boundary_stable && alpha == alpha_min);
+  }
+  [[nodiscard]] stability_interval interval() const {
+    return {alpha_min, alpha_max};
+  }
+};
+
+/// One-pass exact stability record (requires connected g).
+[[nodiscard]] stability_record compute_stability_record(const graph& g);
+
+/// Direct Definition 3 check. Disconnected graphs return false: with two
+/// components some bridging pair strictly gains by linking; with three or
+/// more the definition is vacuously satisfied only because all costs are
+/// infinite, a degenerate case the paper excludes by studying connected
+/// topologies.
+[[nodiscard]] bool is_pairwise_stable(const graph& g, double alpha);
+
+/// A witness that (g, alpha) violates pairwise stability.
+struct stability_violation {
+  enum class kind { severance, addition, disconnected };
+  kind type{};
+  int u{-1};
+  int v{-1};
+  [[nodiscard]] std::string describe() const;
+};
+
+/// First violation found, or nullopt if pairwise stable.
+[[nodiscard]] std::optional<stability_violation> find_stability_violation(
+    const graph& g, double alpha);
+
+}  // namespace bnf

@@ -1,0 +1,42 @@
+// Proper-equilibrium achievability (paper Lemma 3 / Proposition 2).
+//
+// Myerson's proper equilibrium cannot be checked directly on the pure
+// game (it quantifies over vanishing sequences of mixed perturbations),
+// so — exactly as the paper does — we work through the sufficient
+// condition of Calvó-Armengol & Ilkiliç (Lemma 3): a pairwise Nash
+// network where EVERY missing link is strictly unprofitable for BOTH
+// endpoints is a proper equilibrium for the same link cost.
+//
+// Proposition 2 then follows: a link-convex graph admits a window of link
+// costs (max addition saving, min deletion increase] where it is pairwise
+// stable AND all missing links are strictly unprofitable, hence
+// achievable as a proper equilibrium.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace bnf {
+
+/// Lemma 3 premise: every missing link strictly hurts both endpoints at
+/// this alpha (their distance saving is strictly below alpha).
+[[nodiscard]] bool all_missing_links_strictly_unprofitable(const graph& g,
+                                                           double alpha);
+
+/// Lemma 3: pairwise Nash (== pairwise stable, Prop 1) + strict
+/// unprofitability of all missing links => proper equilibrium at alpha.
+[[nodiscard]] bool is_proper_equilibrium_certified(const graph& g,
+                                                   double alpha);
+
+/// Proposition 2 window: the (lo, hi] range of link costs for which the
+/// graph is certified proper; empty (lo >= hi) iff not link convex.
+struct proper_window {
+  double lo{0.0};
+  double hi{0.0};
+  [[nodiscard]] bool nonempty() const { return lo < hi; }
+  [[nodiscard]] bool contains(double alpha) const {
+    return alpha > lo && alpha <= hi;
+  }
+};
+[[nodiscard]] proper_window proper_equilibrium_window(const graph& g);
+
+}  // namespace bnf

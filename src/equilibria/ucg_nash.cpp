@@ -1,0 +1,275 @@
+#include "equilibria/ucg_nash.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "equilibria/pairwise_stability.hpp"
+#include "graph/paths.hpp"
+#include "util/bitops.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+namespace {
+
+// Distance sum from i when i's neighbourhood row is replaced by `row_i`
+// and every other vertex keeps its row from g. Stale bits pointing back
+// at i in other rows are harmless: BFS starts at i, so they can only
+// re-reach an already-visited vertex.
+std::pair<long long, int> distance_sum_with_row(const graph& g, int i,
+                                                std::uint64_t row_i) {
+  std::uint64_t visited = bit(i) | row_i;
+  long long sum = popcount(row_i);
+  std::uint64_t frontier = row_i;
+  int depth = 1;
+  while (frontier != 0) {
+    ++depth;
+    std::uint64_t next = 0;
+    for_each_bit(frontier, [&](int v) { next |= g.neighbors(v); });
+    next &= ~visited;
+    visited |= next;
+    sum += static_cast<long long>(depth) * popcount(next);
+    frontier = next;
+  }
+  return {sum, g.order() - popcount(visited)};
+}
+
+// Shared deviation scan: calls `on_candidate(cost, subset)` for every
+// feasible (connected) deviation subset whose lower bound does not already
+// exceed `bound`. Returns the number of BFS evaluations performed.
+template <typename OnCandidate>
+long long scan_deviations(const graph& g, double alpha, int i,
+                          std::uint64_t kept_row, double bound,
+                          OnCandidate&& on_candidate) {
+  const int n = g.order();
+  const std::uint64_t others = g.vertex_mask() & ~bit(i);
+  const double floor_cost = 2.0 * (n - 1);
+  long long evaluations = 0;
+
+  std::uint64_t subset = others;
+  while (true) {
+    const int k = popcount(subset);
+    // Distance-1 vertices after the deviation: bought links plus the ones
+    // the other side keeps paying for. Everyone else is at >= 2 hops, so
+    // cost >= alpha*k + reach + 2*(n-1-reach).
+    const int reach = popcount(subset | kept_row);
+    const double lower = alpha * k + floor_cost - reach;
+    if (lower <= bound) {
+      const auto [sum, unreached] =
+          distance_sum_with_row(g, i, kept_row | subset);
+      ++evaluations;
+      if (unreached == 0) {
+        const double cost = alpha * k + static_cast<double>(sum);
+        if (!on_candidate(cost, subset)) break;
+      }
+    }
+    if (subset == 0) break;
+    subset = (subset - 1) & others;
+  }
+  return evaluations;
+}
+
+struct orientation_search {
+  const graph& g;
+  double alpha;
+  const ucg_nash_options& options;
+  std::vector<std::pair<int, int>> edges;          // (u, v)
+  std::vector<int> candidates;                     // bitmask: 1=u may buy, 2=v
+  std::vector<std::uint64_t> paid;                 // per-player paid mask
+  std::vector<int> unassigned_incident;            // per-player countdown
+  std::vector<double> base_distance;               // distsum_i(G)
+  std::vector<int> chosen_buyer;                   // per edge, during DFS
+  std::unordered_map<std::uint64_t, bool> happy_memo;
+  long long best_response_checks{0};
+  long long orientations_tried{0};
+
+  bool player_happy(int i) {
+    const std::uint64_t mask = paid[static_cast<std::size_t>(i)];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(i) << 32) | mask;
+    if (const auto it = happy_memo.find(key); it != happy_memo.end()) {
+      return it->second;
+    }
+    const double current = alpha * popcount(mask) +
+                           base_distance[static_cast<std::size_t>(i)];
+    const std::uint64_t kept_row = g.neighbors(i) & ~mask;
+    bool improving = false;
+    best_response_checks += scan_deviations(
+        g, alpha, i, kept_row, current - options.eps,
+        [&](double cost, std::uint64_t) {
+          if (cost < current - options.eps) {
+            improving = true;
+            return false;  // stop scanning
+          }
+          return true;
+        });
+    ensures(best_response_checks <= options.max_best_response_checks,
+            "ucg_nash: best-response budget exceeded");
+    const bool happy = !improving;
+    happy_memo.emplace(key, happy);
+    return happy;
+  }
+
+  bool assign(std::size_t index) {
+    if (index == edges.size()) return true;
+    ++orientations_tried;
+    const auto [u, v] = edges[index];
+    for (int side = 0; side < 2; ++side) {
+      if (!(candidates[index] & (1 << side))) continue;
+      const int buyer = side == 0 ? u : v;
+      const int other = side == 0 ? v : u;
+      paid[static_cast<std::size_t>(buyer)] |= bit(other);
+      --unassigned_incident[static_cast<std::size_t>(u)];
+      --unassigned_incident[static_cast<std::size_t>(v)];
+
+      bool feasible = true;
+      if (unassigned_incident[static_cast<std::size_t>(u)] == 0) {
+        feasible = player_happy(u);
+      }
+      if (feasible && unassigned_incident[static_cast<std::size_t>(v)] == 0) {
+        feasible = player_happy(v);
+      }
+      if (feasible) {
+        chosen_buyer[index] = buyer;
+        if (assign(index + 1)) return true;
+      }
+
+      paid[static_cast<std::size_t>(buyer)] &= ~bit(other);
+      ++unassigned_incident[static_cast<std::size_t>(u)];
+      ++unassigned_incident[static_cast<std::size_t>(v)];
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+double ucg_best_response_cost(const graph& g, double alpha, int i,
+                              std::uint64_t paid) {
+  expects(i >= 0 && i < g.order(), "ucg_best_response_cost: out of range");
+  expects((paid & ~g.neighbors(i)) == 0,
+          "ucg_best_response_cost: paid mask must be incident edges");
+  return ucg_best_response_given_kept(g, alpha, i, g.neighbors(i) & ~paid)
+      .cost;
+}
+
+ucg_best_response_result ucg_best_response_given_kept(const graph& g,
+                                                      double alpha, int i,
+                                                      std::uint64_t kept_row) {
+  expects(i >= 0 && i < g.order(),
+          "ucg_best_response_given_kept: out of range");
+  expects((kept_row & (~g.vertex_mask() | bit(i))) == 0,
+          "ucg_best_response_given_kept: bad kept row");
+  ucg_best_response_result best{std::numeric_limits<double>::infinity(), 0};
+  scan_deviations(g, alpha, i, kept_row,
+                  std::numeric_limits<double>::infinity(),
+                  [&](double cost, std::uint64_t subset) {
+                    const bool better =
+                        cost < best.cost ||
+                        (cost == best.cost &&
+                         (popcount(subset) < popcount(best.links) ||
+                          (popcount(subset) == popcount(best.links) &&
+                           subset < best.links)));
+                    if (better) best = {cost, subset};
+                    return true;
+                  });
+  return best;
+}
+
+ucg_nash_result ucg_nash_supportable(const graph& g, double alpha,
+                                     const ucg_nash_options& options) {
+  expects(g.order() >= 1 && g.order() <= 16,
+          "ucg_nash_supportable: guard n <= 16 (exact search)");
+  expects(alpha > 0, "ucg_nash_supportable: requires alpha > 0");
+
+  ucg_nash_result result;
+  if (!is_connected(g)) return result;
+
+  // Filter 1: a missing link that saves an endpoint strictly more than
+  // alpha would be added unilaterally — never Nash.
+  for (const auto& [u, v] : g.non_edges()) {
+    if (static_cast<double>(edge_addition_decrease(g, u, v)) >
+            alpha + options.eps ||
+        static_cast<double>(edge_addition_decrease(g, v, u)) >
+            alpha + options.eps) {
+      return result;
+    }
+  }
+
+  orientation_search search{g, alpha, options, {}, {}, {}, {}, {}, {}, {}, 0, 0};
+  search.edges = g.edges();
+
+  // Filter 2: each edge needs a buyer whose single-severance saving does
+  // not strictly exceed the distance increase (alpha <= increase).
+  for (const auto& [u, v] : search.edges) {
+    int mask = 0;
+    if (alpha <=
+        static_cast<double>(edge_deletion_increase(g, u, v)) + options.eps) {
+      mask |= 1;
+    }
+    if (alpha <=
+        static_cast<double>(edge_deletion_increase(g, v, u)) + options.eps) {
+      mask |= 2;
+    }
+    if (mask == 0) return result;
+    search.candidates.push_back(mask);
+  }
+
+  // Most-constrained edges first (fewer buyer choices → earlier pruning).
+  {
+    std::vector<std::size_t> order(search.edges.size());
+    for (std::size_t e = 0; e < order.size(); ++e) order[e] = e;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return popcount(static_cast<std::uint64_t>(
+                                  search.candidates[a])) <
+                              popcount(static_cast<std::uint64_t>(
+                                  search.candidates[b]));
+                     });
+    std::vector<std::pair<int, int>> sorted_edges;
+    std::vector<int> sorted_candidates;
+    for (const std::size_t e : order) {
+      sorted_edges.push_back(search.edges[e]);
+      sorted_candidates.push_back(search.candidates[e]);
+    }
+    search.edges = std::move(sorted_edges);
+    search.candidates = std::move(sorted_candidates);
+  }
+
+  const int n = g.order();
+  search.paid.assign(static_cast<std::size_t>(n), 0);
+  search.unassigned_incident.assign(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    search.unassigned_incident[static_cast<std::size_t>(v)] = g.degree(v);
+  }
+  search.base_distance.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    search.base_distance[static_cast<std::size_t>(v)] =
+        static_cast<double>(distance_sum(g, v).sum);
+  }
+  search.chosen_buyer.assign(search.edges.size(), -1);
+
+  // Isolated players (n == 1 aside, impossible in a connected graph with
+  // n >= 2) and players with degree 0 never get a happiness check via edge
+  // completion; handle n == 1 explicitly: a lone player is trivially Nash.
+  const bool supportable = search.assign(0);
+  result.best_response_checks = search.best_response_checks;
+  result.orientations_tried = search.orientations_tried;
+  if (supportable) {
+    result.supportable = true;
+    for (std::size_t e = 0; e < search.edges.size(); ++e) {
+      const auto [u, v] = search.edges[e];
+      const int buyer = search.chosen_buyer[e];
+      result.orientation.emplace_back(buyer, buyer == u ? v : u);
+    }
+  }
+  return result;
+}
+
+bool is_ucg_nash(const graph& g, double alpha,
+                 const ucg_nash_options& options) {
+  return ucg_nash_supportable(g, alpha, options).supportable;
+}
+
+}  // namespace bnf

@@ -1,0 +1,82 @@
+// Nash supportability in the unilateral connection game (Fabrikant et
+// al.'s model; paper Section 2 and 4.3).
+//
+// A graph G is a Nash graph of the UCG at link cost alpha iff there is an
+// assignment of each edge to one endpoint (the buyer) such that no player
+// can strictly reduce
+//      alpha * |bought_i| + sum_j d(i,j)
+// by replacing its ENTIRE bought set with any other subset of players.
+// (In equilibrium no edge is paid twice, so single-ownership orientations
+// are exhaustive.)
+//
+// Deciding this is the hard part of the paper's empirical Section 5 — the
+// paper notes the problem is NP-complete and that its enumeration "hinges
+// on many fast checks to rule out inadmissible topologies" (footnote 8).
+// This checker mirrors that strategy:
+//
+//   filter 1: no beneficial unilateral ADDITION may exist — every missing
+//             link must save each endpoint at most alpha;
+//   filter 2: every edge needs a tolerant buyer — an endpoint whose
+//             single-link severance saving does not exceed alpha;
+//   search:   backtracking over buyer orientations, checking each player's
+//             exact best response (2^(n-1) subsets, popcount-pruned and
+//             memoized per (player, paid-set)) as soon as all its incident
+//             edges are assigned.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bnf {
+
+struct ucg_nash_options {
+  /// Numeric slack when comparing alpha multiples with integer distances.
+  double eps{1e-9};
+  /// Abort knob for pathological instances (never hit for n <= 10).
+  long long max_best_response_checks{1LL << 28};
+};
+
+struct ucg_nash_result {
+  bool supportable{false};
+  /// If supportable: (buyer, other endpoint) for each edge of a witness
+  /// orientation.
+  std::vector<std::pair<int, int>> orientation;
+  /// Diagnostics: how far the search had to go.
+  long long best_response_checks{0};
+  long long orientations_tried{0};
+};
+
+/// Decide Nash supportability of g in the UCG at link cost alpha.
+/// Requires 1 <= n <= 16 and alpha > 0. Disconnected graphs return
+/// unsupportable (all costs are infinite; the paper's empirical section
+/// considers connected topologies only).
+[[nodiscard]] ucg_nash_result ucg_nash_supportable(
+    const graph& g, double alpha, const ucg_nash_options& options = {});
+
+/// Convenience predicate.
+[[nodiscard]] bool is_ucg_nash(const graph& g, double alpha,
+                               const ucg_nash_options& options = {});
+
+/// Exact best-response cost for player i against the rest of the graph:
+/// min over subsets S of alpha*|S| + distance sum when i's paid links are
+/// replaced by links to S (links bought by neighbours persist).
+/// `paid` is the neighbour mask of links i currently pays for.
+[[nodiscard]] double ucg_best_response_cost(const graph& g, double alpha,
+                                            int i, std::uint64_t paid);
+
+/// Exact best response with an explicit persistence row: `kept_row` is the
+/// set of neighbours whose link to i survives any deviation by i (links
+/// bought by the other side). Edges among other players are taken from g.
+/// Returns the argmin bought set (ties broken toward fewer links, then
+/// smaller mask) and its cost.
+struct ucg_best_response_result {
+  double cost{0.0};
+  std::uint64_t links{0};
+};
+[[nodiscard]] ucg_best_response_result ucg_best_response_given_kept(
+    const graph& g, double alpha, int i, std::uint64_t kept_row);
+
+}  // namespace bnf

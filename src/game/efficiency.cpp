@@ -1,0 +1,69 @@
+#include "game/efficiency.hpp"
+
+#include <limits>
+
+#include "gen/enumerate.hpp"
+#include "gen/named.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+double efficiency_crossover(link_rule rule) {
+  return rule == link_rule::bilateral ? 1.0 : 2.0;
+}
+
+double optimal_social_cost(const connection_game& game) {
+  expects(game.n >= 1, "optimal_social_cost: requires n >= 1");
+  expects(game.alpha > 0, "optimal_social_cost: requires alpha > 0");
+  const double n = game.n;
+  if (game.n == 1) return 0.0;
+
+  if (game.rule == link_rule::bilateral) {
+    if (game.alpha <= 1.0) {
+      // Complete graph: 2*alpha*C(n,2) + n(n-1).
+      return n * (n - 1) * (game.alpha + 1.0);
+    }
+    // Star: 2*alpha*(n-1) + 2(n-1)^2  ==  2(n-1)(n + alpha - 1).
+    return 2.0 * (n - 1) * (n + game.alpha - 1.0);
+  }
+
+  if (game.alpha <= 2.0) {
+    // Complete graph: alpha*C(n,2) + n(n-1).
+    return n * (n - 1) * (game.alpha / 2.0 + 1.0);
+  }
+  // Star: alpha*(n-1) + 2(n-1)^2.
+  return (n - 1) * (game.alpha + 2.0 * (n - 1));
+}
+
+graph efficient_graph(const connection_game& game) {
+  expects(game.n >= 1, "efficient_graph: requires n >= 1");
+  return game.alpha < efficiency_crossover(game.rule) ? complete(game.n)
+                                                      : star(game.n);
+}
+
+brute_force_optimum_result brute_force_optimum(const connection_game& game) {
+  expects(game.n >= 1 && game.n <= 9,
+          "brute_force_optimum: guard n <= 9 (exhaustive search)");
+  brute_force_optimum_result result{graph(game.n),
+                                    std::numeric_limits<double>::infinity()};
+  for_each_graph(
+      game.n,
+      [&](const graph& g) {
+        const agent_cost cost = social_cost(g, game);
+        if (cost.is_finite() && cost.finite < result.cost) {
+          result.cost = cost.finite;
+          result.best = g;
+        }
+      },
+      {.connected_only = true});
+  return result;
+}
+
+double price_of_anarchy(const graph& g, const connection_game& game) {
+  expects(g.order() == game.n, "price_of_anarchy: size mismatch");
+  const agent_cost cost = social_cost(g, game);
+  if (!cost.is_finite()) return std::numeric_limits<double>::infinity();
+  return cost.finite / optimal_social_cost(game);
+}
+
+}  // namespace bnf

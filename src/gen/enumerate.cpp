@@ -1,0 +1,134 @@
+#include "gen/enumerate.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "graph/canonical.hpp"
+#include "graph/paths.hpp"
+#include "util/bitops.hpp"
+#include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bnf {
+
+namespace {
+
+// Extend every parent class on k vertices by one new vertex attached to
+// each subset of [0, k); return the sorted unique canonical keys of the
+// children. Parents are processed in parallel chunks; each chunk's keys
+// are sorted/deduped locally and merged into the accumulator, keeping the
+// peak memory at O(result + chunk) rather than O(all candidates).
+std::vector<std::uint64_t> level_up(const std::vector<std::uint64_t>& parents,
+                                    int k, int threads) {
+  const std::uint64_t subset_space = bit(k);  // 2^k attachment choices
+
+  // Chunk parents so each chunk yields ~2M candidate keys.
+  const std::size_t per_chunk =
+      std::max<std::size_t>(1, (std::size_t{1} << 21) / subset_space);
+  const std::size_t chunk_count =
+      (parents.size() + per_chunk - 1) / per_chunk;
+
+  std::vector<std::uint64_t> merged;
+  std::mutex merge_mutex;
+
+  parallel_for_chunks(chunk_count, threads, [&](std::size_t begin,
+                                                std::size_t end) {
+    std::vector<std::uint64_t> local;
+    local.reserve(per_chunk * subset_space);
+    std::vector<std::uint64_t> scratch;
+    for (std::size_t chunk = begin; chunk < end; ++chunk) {
+      local.clear();
+      const std::size_t lo = chunk * per_chunk;
+      const std::size_t hi = std::min(parents.size(), lo + per_chunk);
+      for (std::size_t p = lo; p < hi; ++p) {
+        const graph parent = graph::from_key64(k, parents[p]);
+        graph child = parent.with_vertex();
+        for (std::uint64_t subset = 0; subset < subset_space; ++subset) {
+          // Rewrite the new vertex's neighbourhood to `subset`.
+          for_each_bit(child.neighbors(k), [&](int w) {
+            child.remove_edge(k, w);
+          });
+          for_each_bit(subset, [&](int w) { child.add_edge(k, w); });
+          local.push_back(canonical_key64(child));
+        }
+      }
+      std::sort(local.begin(), local.end());
+      local.erase(std::unique(local.begin(), local.end()), local.end());
+
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      scratch.clear();
+      scratch.reserve(merged.size() + local.size());
+      std::set_union(merged.begin(), merged.end(), local.begin(), local.end(),
+                     std::back_inserter(scratch));
+      merged.swap(scratch);
+    }
+  });
+  return merged;
+}
+
+std::vector<std::uint64_t> build_level(int n, int threads) {
+  std::vector<std::uint64_t> level{0};  // the unique graph on 0 vertices
+  for (int k = 0; k < n; ++k) {
+    level = level_up(level, k, threads);
+    ensures(level.size() == known_graph_counts[static_cast<std::size_t>(k + 1)],
+            "enumerate: class count mismatch vs OEIS A000088 — canonical "
+            "labeling bug");
+  }
+  return level;
+}
+
+int resolve_threads(const enumeration_options& options) {
+  return options.threads > 0 ? options.threads : default_thread_count();
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> all_graph_keys(int n,
+                                          const enumeration_options& options) {
+  expects(n >= 0 && n <= max_enumeration_order,
+          "all_graph_keys: order out of range (max 10)");
+  std::vector<std::uint64_t> keys = build_level(n, resolve_threads(options));
+  if (options.connected_only && n >= 1) {
+    std::erase_if(keys, [n](std::uint64_t key) {
+      return !is_connected(graph::from_key64(n, key));
+    });
+  }
+  return keys;
+}
+
+void for_each_graph(int n, const std::function<void(const graph&)>& fn,
+                    const enumeration_options& options) {
+  const auto keys = all_graph_keys(
+      n, {.connected_only = false, .threads = options.threads});
+  for (const std::uint64_t key : keys) {
+    const graph g = graph::from_key64(n, key);
+    if (options.connected_only && !is_connected(g)) continue;
+    fn(g);
+  }
+}
+
+std::vector<graph> all_graphs(int n, const enumeration_options& options) {
+  std::vector<graph> graphs;
+  for_each_graph(
+      n, [&](const graph& g) { graphs.push_back(g); }, options);
+  return graphs;
+}
+
+std::uint64_t count_graphs(int n, const enumeration_options& options) {
+  return all_graph_keys(n, options).size();
+}
+
+std::vector<graph> all_trees(int n) {
+  expects(n >= 1 && n <= max_enumeration_order,
+          "all_trees: order out of range (max 10)");
+  std::vector<graph> trees;
+  for_each_graph(
+      n,
+      [&](const graph& g) {
+        if (g.size() == n - 1) trees.push_back(g);
+      },
+      {.connected_only = true});
+  return trees;
+}
+
+}  // namespace bnf

@@ -1,0 +1,33 @@
+// Random graph models for the property tests, the dynamics samplers and
+// the Prop 5 tree experiments. All models draw from a bnf::rng, so seeded
+// runs are reproducible.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace bnf {
+
+/// Erdős–Rényi G(n, p): each pair independently an edge with probability p.
+[[nodiscard]] graph gnp(int n, double p, rng& random);
+
+/// Uniform G(n, m): exactly m edges chosen uniformly among all C(n,2).
+[[nodiscard]] graph gnm(int n, int m, rng& random);
+
+/// Uniform random labeled tree on n vertices (Prüfer decoding). n >= 1.
+[[nodiscard]] graph random_tree(int n, rng& random);
+
+/// Random connected graph with exactly m >= n-1 edges: a uniform random
+/// spanning tree plus m-(n-1) distinct extra edges chosen uniformly.
+/// (Not uniform over all connected graphs; documented bias is fine for
+/// dynamics starting points.)
+[[nodiscard]] graph random_connected_gnm(int n, int m, rng& random);
+
+/// Random k-regular graph via the pairing model with restarts. Requires
+/// n*k even, k < n. May be slow for k close to n; intended for k <= 8.
+[[nodiscard]] graph random_regular(int n, int k, rng& random);
+
+/// Decode a Prüfer sequence (length n-2, entries in [0, n)) into a tree.
+[[nodiscard]] graph prufer_decode(int n, std::span<const int> sequence);
+
+}  // namespace bnf

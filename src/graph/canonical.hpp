@@ -1,0 +1,51 @@
+// Canonical labeling, isomorphism testing and automorphism orbits — a
+// compact nauty-style engine (equitable partition refinement + branch
+// search with automorphism orbit pruning). It is the workhorse behind the
+// exhaustive non-isomorphic graph enumeration that regenerates the paper's
+// Figures 2 and 3, and behind isomorphism-deduplicated equilibrium sets.
+//
+// The canonical form is the lexicographically *maximal* relabeled
+// adjacency certificate over all vertex orderings explored by the search;
+// two graphs are isomorphic iff their canonical certificates coincide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bnf {
+
+/// Result of canonicalization.
+struct canon_result {
+  /// labeling[p] = original vertex placed at canonical position p.
+  std::vector<int> labeling;
+  /// The graph relabeled into canonical order.
+  graph canonical;
+  /// orbits[v] = smallest vertex in v's orbit under the discovered
+  /// automorphism group (complete unless the generator cap is hit, which
+  /// does not occur for graphs of this size in practice).
+  std::vector<int> orbits;
+  /// Number of automorphism generators discovered during the search.
+  int generators_found{0};
+};
+
+/// Compute the canonical form of g. O(poly) for the refinement; worst-case
+/// exponential search is tamed by orbit pruning (vertex-transitive graphs
+/// on <= 64 vertices canonicalize in microseconds).
+[[nodiscard]] canon_result canonical_form(const graph& g);
+
+/// Canonical 64-bit key (upper-triangle packing of the canonical graph).
+/// Requires order <= 11. Equal keys + equal order <=> isomorphic.
+[[nodiscard]] std::uint64_t canonical_key64(const graph& g);
+
+/// Isomorphism test via cheap invariants then canonical certificates.
+[[nodiscard]] bool are_isomorphic(const graph& a, const graph& b);
+
+/// Orbits of the automorphism group: orbit representative per vertex.
+[[nodiscard]] std::vector<int> automorphism_orbits(const graph& g);
+
+/// Number of distinct orbits (== 1 iff vertex-transitive as detected).
+[[nodiscard]] int orbit_count(const graph& g);
+
+}  // namespace bnf

@@ -1,0 +1,144 @@
+#include "util/arg_parse.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+arg_parser::arg_parser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void arg_parser::add_int(const std::string& name, std::int64_t default_value,
+                         const std::string& help) {
+  expects(!entries_.count(name), "arg_parser: duplicate flag " + name);
+  entries_[name] = entry{kind::integer, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+
+void arg_parser::add_double(const std::string& name, double default_value,
+                            const std::string& help) {
+  expects(!entries_.count(name), "arg_parser: duplicate flag " + name);
+  std::ostringstream out;
+  out << default_value;
+  entries_[name] = entry{kind::real, help, out.str()};
+  order_.push_back(name);
+}
+
+void arg_parser::add_string(const std::string& name, std::string default_value,
+                            const std::string& help) {
+  expects(!entries_.count(name), "arg_parser: duplicate flag " + name);
+  entries_[name] = entry{kind::text, help, std::move(default_value)};
+  order_.push_back(name);
+}
+
+void arg_parser::add_flag(const std::string& name, const std::string& help) {
+  expects(!entries_.count(name), "arg_parser: duplicate flag " + name);
+  entries_[name] = entry{kind::boolean, help, "false"};
+  order_.push_back(name);
+}
+
+void arg_parser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    expects(token.rfind("--", 0) == 0,
+            "arg_parser: expected --flag, got '" + token + "'");
+    token = token.substr(2);
+
+    std::string name = token;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      name = token.substr(0, eq);
+      value = token.substr(eq + 1);
+      have_value = true;
+    }
+
+    const auto it = entries_.find(name);
+    expects(it != entries_.end(), "arg_parser: unknown flag --" + name);
+    entry& e = it->second;
+
+    if (e.type == kind::boolean && !have_value) {
+      e.value = "true";
+      e.set_by_user = true;
+      continue;
+    }
+    if (!have_value) {
+      expects(i + 1 < argc, "arg_parser: missing value for --" + name);
+      value = argv[++i];
+    }
+
+    if (e.type == kind::integer) {
+      std::size_t pos = 0;
+      const long long parsed = std::stoll(value, &pos);
+      expects(pos == value.size(),
+              "arg_parser: bad integer for --" + name + ": " + value);
+      e.value = std::to_string(parsed);
+    } else if (e.type == kind::real) {
+      std::size_t pos = 0;
+      (void)std::stod(value, &pos);
+      expects(pos == value.size(),
+              "arg_parser: bad number for --" + name + ": " + value);
+      e.value = value;
+    } else if (e.type == kind::boolean) {
+      expects(value == "true" || value == "false",
+              "arg_parser: bool flag --" + name + " wants true/false");
+      e.value = value;
+    } else {
+      e.value = value;
+    }
+    e.set_by_user = true;
+  }
+}
+
+const arg_parser::entry& arg_parser::lookup(const std::string& name,
+                                            kind expected) const {
+  const auto it = entries_.find(name);
+  expects(it != entries_.end(), "arg_parser: flag not registered: " + name);
+  expects(it->second.type == expected,
+          "arg_parser: flag type mismatch for " + name);
+  return it->second;
+}
+
+std::int64_t arg_parser::get_int(const std::string& name) const {
+  return std::stoll(lookup(name, kind::integer).value);
+}
+
+double arg_parser::get_double(const std::string& name) const {
+  return std::stod(lookup(name, kind::real).value);
+}
+
+const std::string& arg_parser::get_string(const std::string& name) const {
+  return lookup(name, kind::text).value;
+}
+
+bool arg_parser::get_flag(const std::string& name) const {
+  return lookup(name, kind::boolean).value == "true";
+}
+
+bool arg_parser::was_set(const std::string& name) const {
+  const auto it = entries_.find(name);
+  expects(it != entries_.end(), "arg_parser: flag not registered: " + name);
+  return it->second.set_by_user;
+}
+
+std::string arg_parser::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const entry& e = entries_.at(name);
+    out << "  --" << name;
+    if (e.type != kind::boolean) out << " <value>";
+    out << "  (default: " << e.value << ")  " << e.help << "\n";
+  }
+  out << "  --help  print this message\n";
+  return out.str();
+}
+
+}  // namespace bnf

@@ -1,0 +1,64 @@
+// Minimal command-line flag parser for the bench harnesses and examples.
+// Flags are "--name value" or "--name=value"; bool flags may omit the value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bnf {
+
+/// Declarative flag registry + parser.
+///
+/// Usage:
+///   arg_parser args("bench_fig2", "Average price of anarchy sweep");
+///   args.add_int("n", 8, "number of players");
+///   args.add_double("tau-max", 256.0, "largest total per-edge cost");
+///   args.add_flag("csv", "emit CSV instead of a table");
+///   args.parse(argc, argv);          // exits(0) on --help
+///   int n = args.get_int("n");
+class arg_parser {
+ public:
+  arg_parser(std::string program, std::string description);
+
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Throws bnf::precondition_error on unknown flags or
+  /// malformed values. Prints usage and std::exit(0)s on --help/-h.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// True if the user explicitly supplied the flag (vs. default).
+  [[nodiscard]] bool was_set(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class kind { integer, real, text, boolean };
+  struct entry {
+    kind type{};
+    std::string help;
+    std::string value;      // canonical textual value
+    bool set_by_user{false};
+  };
+
+  const entry& lookup(const std::string& name, kind expected) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace bnf

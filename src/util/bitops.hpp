@@ -1,0 +1,58 @@
+// Word-level bit utilities shared by the graph kernel. Vertex sets are
+// uint64_t masks (vertex v <-> bit v), which keeps every hot loop in the
+// equilibrium checkers allocation-free.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace bnf {
+
+/// Mask with only bit `i` set. Requires 0 <= i < 64.
+[[nodiscard]] constexpr std::uint64_t bit(int i) noexcept {
+  return std::uint64_t{1} << i;
+}
+
+/// Mask with the low `n` bits set, 0 <= n <= 64.
+[[nodiscard]] constexpr std::uint64_t low_bits(int n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/// Number of set bits.
+[[nodiscard]] constexpr int popcount(std::uint64_t mask) noexcept {
+  return std::popcount(mask);
+}
+
+/// Index of the lowest set bit. Requires mask != 0.
+[[nodiscard]] constexpr int lowest_bit(std::uint64_t mask) noexcept {
+  return std::countr_zero(mask);
+}
+
+/// Test whether bit `i` is set.
+[[nodiscard]] constexpr bool has_bit(std::uint64_t mask, int i) noexcept {
+  return (mask >> i) & 1;
+}
+
+/// Call `fn(v)` for every set bit index v, in increasing order.
+template <typename Fn>
+constexpr void for_each_bit(std::uint64_t mask, Fn&& fn) {
+  while (mask != 0) {
+    const int v = std::countr_zero(mask);
+    fn(v);
+    mask &= mask - 1;
+  }
+}
+
+/// Call `fn(sub)` for every subset `sub` of `mask` (including 0 and mask).
+/// Visits 2^popcount(mask) subsets in the standard descending-subset order.
+template <typename Fn>
+constexpr void for_each_subset(std::uint64_t mask, Fn&& fn) {
+  std::uint64_t sub = mask;
+  while (true) {
+    fn(sub);
+    if (sub == 0) break;
+    sub = (sub - 1) & mask;
+  }
+}
+
+}  // namespace bnf

@@ -1,0 +1,37 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", E.12). Violations throw, so callers can test
+// misuse and examples fail loudly instead of corrupting state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bnf {
+
+/// Thrown when a function precondition is violated.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a library bug, not user error).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Check a precondition; throws bnf::precondition_error on failure.
+inline void expects(bool condition, const char* message) {
+  if (!condition) throw precondition_error(message);
+}
+
+inline void expects(bool condition, const std::string& message) {
+  if (!condition) throw precondition_error(message);
+}
+
+/// Check an internal invariant; throws bnf::invariant_error on failure.
+inline void ensures(bool condition, const char* message) {
+  if (!condition) throw invariant_error(message);
+}
+
+}  // namespace bnf

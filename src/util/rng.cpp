@@ -1,0 +1,89 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void rng::reseed(std::uint64_t seed) {
+  for (auto& word : state_) word = splitmix64(seed);
+  // Avoid the pathological all-zero state (splitmix64 makes it unreachable
+  // in practice, but the invariant is cheap to enforce).
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t rng::below(std::uint64_t bound) {
+  expects(bound > 0, "rng::below: bound must be positive");
+  // Rejection sampling for exact uniformity.
+  const std::uint64_t threshold = -bound % bound;
+  while (true) {
+    const std::uint64_t value = next();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  expects(lo <= hi, "rng::uniform_int: requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double rng::uniform_real() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_real() < p;
+}
+
+std::vector<int> rng::sample_without_replacement(int n, int k) {
+  expects(n >= 0 && k >= 0 && k <= n,
+          "rng::sample_without_replacement: requires 0 <= k <= n");
+  // Floyd's algorithm: O(k) expected insertions.
+  std::vector<int> chosen;
+  chosen.reserve(static_cast<std::size_t>(k));
+  for (int j = n - k; j < n; ++j) {
+    const int t = static_cast<int>(below(static_cast<std::uint64_t>(j) + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace bnf

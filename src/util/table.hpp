@@ -1,0 +1,37 @@
+// Plain-text table and CSV emission for the bench harnesses. The figure
+// benches print the same rows/series the paper reports; `text_table` keeps
+// them readable, `to_csv` makes them plottable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bnf {
+
+/// Format a double with fixed precision, trimming trailing zeros.
+[[nodiscard]] std::string fmt_double(double value, int precision = 3);
+
+/// Format +/-infinity as "inf"/"-inf", otherwise like fmt_double.
+[[nodiscard]] std::string fmt_alpha(double value, int precision = 3);
+
+/// Column-aligned text table with a header row.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column padding and a separator under the header.
+  void print(std::ostream& out) const;
+
+  /// Render as CSV (header + rows, comma separated, minimal quoting).
+  void to_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bnf

@@ -1,0 +1,50 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bnf {
+
+int default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for_chunks(
+    std::size_t total, int threads,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (total == 0) return;
+  const int workers =
+      std::max(1, std::min<int>(threads, static_cast<int>(total)));
+  if (workers == 1) {
+    fn(0, total);
+    return;
+  }
+
+  const std::size_t chunk = (total + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int w = 0; w < workers; ++w) {
+    const std::size_t begin = std::min(total, static_cast<std::size_t>(w) * chunk);
+    const std::size_t end = std::min(total, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace bnf

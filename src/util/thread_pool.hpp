@@ -1,0 +1,20 @@
+// A small blocking parallel-for used by the graph enumerator. Work is split
+// into contiguous index chunks; each worker runs the chunk function on its
+// own slice, so callers keep per-thread state without locks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace bnf {
+
+/// Number of worker threads to use by default (hardware concurrency, >= 1).
+[[nodiscard]] int default_thread_count();
+
+/// Run fn(begin, end) over disjoint chunks of [0, total) on `threads`
+/// workers and block until all complete. With threads <= 1 runs inline.
+/// Exceptions thrown by chunk functions are rethrown on the caller thread.
+void parallel_for_chunks(std::size_t total, int threads,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace bnf

@@ -1,0 +1,102 @@
+#include "util/arg_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/contracts.hpp"
+
+namespace bnf {
+namespace {
+
+arg_parser make_parser() {
+  arg_parser args("prog", "test parser");
+  args.add_int("n", 8, "players");
+  args.add_double("alpha", 1.5, "link cost");
+  args.add_string("mode", "exhaustive", "census mode");
+  args.add_flag("csv", "emit csv");
+  return args;
+}
+
+TEST(ArgParseTest, DefaultsApply) {
+  auto args = make_parser();
+  const std::array argv{"prog"};
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.get_int("n"), 8);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha"), 1.5);
+  EXPECT_EQ(args.get_string("mode"), "exhaustive");
+  EXPECT_FALSE(args.get_flag("csv"));
+  EXPECT_FALSE(args.was_set("n"));
+}
+
+TEST(ArgParseTest, SpaceSeparatedValues) {
+  auto args = make_parser();
+  const std::array argv{"prog", "--n", "10", "--alpha", "2.25", "--mode",
+                        "dynamics"};
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.get_int("n"), 10);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha"), 2.25);
+  EXPECT_EQ(args.get_string("mode"), "dynamics");
+  EXPECT_TRUE(args.was_set("n"));
+}
+
+TEST(ArgParseTest, EqualsSyntaxAndBoolFlag) {
+  auto args = make_parser();
+  const std::array argv{"prog", "--n=12", "--csv"};
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.get_int("n"), 12);
+  EXPECT_TRUE(args.get_flag("csv"));
+}
+
+TEST(ArgParseTest, ExplicitBoolValue) {
+  auto args = make_parser();
+  const std::array argv{"prog", "--csv=false"};
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(args.get_flag("csv"));
+}
+
+TEST(ArgParseTest, UnknownFlagThrows) {
+  auto args = make_parser();
+  const std::array argv{"prog", "--bogus", "1"};
+  EXPECT_THROW((void)args.parse(static_cast<int>(argv.size()), argv.data()),
+               precondition_error);
+}
+
+TEST(ArgParseTest, MalformedIntThrows) {
+  auto args = make_parser();
+  const std::array argv{"prog", "--n", "12x"};
+  EXPECT_THROW((void)args.parse(static_cast<int>(argv.size()), argv.data()),
+               precondition_error);
+}
+
+TEST(ArgParseTest, MissingValueThrows) {
+  auto args = make_parser();
+  const std::array argv{"prog", "--n"};
+  EXPECT_THROW((void)args.parse(static_cast<int>(argv.size()), argv.data()),
+               precondition_error);
+}
+
+TEST(ArgParseTest, TypeMismatchOnGetThrows) {
+  auto args = make_parser();
+  const std::array argv{"prog"};
+  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW((void)args.get_int("alpha"), precondition_error);
+  EXPECT_THROW((void)args.get_flag("n"), precondition_error);
+}
+
+TEST(ArgParseTest, DuplicateRegistrationThrows) {
+  arg_parser args("prog", "dup");
+  args.add_int("n", 1, "x");
+  EXPECT_THROW((void)args.add_double("n", 2.0, "y"), precondition_error);
+}
+
+TEST(ArgParseTest, UsageMentionsAllFlags) {
+  const auto args = make_parser();
+  const std::string usage = args.usage();
+  for (const auto* flag : {"--n", "--alpha", "--mode", "--csv", "--help"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace bnf

@@ -1,0 +1,85 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace bnf {
+namespace {
+
+TEST(BitopsTest, BitProducesSingleBitMasks) {
+  EXPECT_EQ(bit(0), 1ULL);
+  EXPECT_EQ(bit(1), 2ULL);
+  EXPECT_EQ(bit(63), 0x8000000000000000ULL);
+}
+
+TEST(BitopsTest, LowBitsBoundaries) {
+  EXPECT_EQ(low_bits(0), 0ULL);
+  EXPECT_EQ(low_bits(1), 1ULL);
+  EXPECT_EQ(low_bits(8), 0xFFULL);
+  EXPECT_EQ(low_bits(64), ~0ULL);
+}
+
+TEST(BitopsTest, PopcountMatchesBuiltin) {
+  EXPECT_EQ(popcount(0), 0);
+  EXPECT_EQ(popcount(0xFFULL), 8);
+  EXPECT_EQ(popcount(~0ULL), 64);
+  EXPECT_EQ(popcount(bit(5) | bit(17) | bit(63)), 3);
+}
+
+TEST(BitopsTest, LowestBit) {
+  EXPECT_EQ(lowest_bit(1), 0);
+  EXPECT_EQ(lowest_bit(bit(17)), 17);
+  EXPECT_EQ(lowest_bit(bit(17) | bit(40)), 17);
+}
+
+TEST(BitopsTest, HasBit) {
+  const std::uint64_t mask = bit(3) | bit(9);
+  EXPECT_TRUE(has_bit(mask, 3));
+  EXPECT_TRUE(has_bit(mask, 9));
+  EXPECT_FALSE(has_bit(mask, 4));
+}
+
+TEST(BitopsTest, ForEachBitVisitsAscending) {
+  std::vector<int> seen;
+  for_each_bit(bit(2) | bit(5) | bit(63), [&](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{2, 5, 63}));
+}
+
+TEST(BitopsTest, ForEachBitEmptyMask) {
+  int calls = 0;
+  for_each_bit(0, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(BitopsTest, ForEachSubsetCountsPowerSet) {
+  int calls = 0;
+  for_each_subset(bit(1) | bit(4) | bit(7), [&](std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 8);
+}
+
+TEST(BitopsTest, ForEachSubsetOnlySubsets) {
+  const std::uint64_t mask = bit(0) | bit(3);
+  std::vector<std::uint64_t> seen;
+  for_each_subset(mask, [&](std::uint64_t sub) {
+    EXPECT_EQ(sub & ~mask, 0ULL);
+    seen.push_back(sub);
+  });
+  EXPECT_EQ(seen.size(), 4U);
+  // Includes both extremes.
+  EXPECT_NE(std::find(seen.begin(), seen.end(), 0ULL), seen.end());
+  EXPECT_NE(std::find(seen.begin(), seen.end(), mask), seen.end());
+}
+
+TEST(BitopsTest, ForEachSubsetOfZeroVisitsOnlyEmpty) {
+  int calls = 0;
+  for_each_subset(0, [&](std::uint64_t sub) {
+    EXPECT_EQ(sub, 0ULL);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace bnf

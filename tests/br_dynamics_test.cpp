@@ -1,0 +1,115 @@
+#include "dynamics/br_dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "equilibria/ucg_nash.hpp"
+#include "gen/named.hpp"
+#include "graph/canonical.hpp"
+#include "graph/paths.hpp"
+#include "util/bitops.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace bnf {
+namespace {
+
+TEST(BrDynamicsTest, StateRealizeUnionOfBoughtSets) {
+  ucg_state state(4);
+  state.bought[0] = bit(1) | bit(2);
+  state.bought[3] = bit(2);
+  const graph g = state.realize();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_EQ(g.size(), 3);
+}
+
+TEST(BrDynamicsTest, FiniteCostCountsOwnLinksOnly) {
+  ucg_state state(3);
+  state.bought[0] = bit(1);
+  state.bought[1] = bit(2);
+  // Player 0: 1 link * alpha + distances 1 + 2.
+  EXPECT_DOUBLE_EQ(state.finite_cost(2.0, 0), 2.0 + 3.0);
+  // Player 2 bought nothing: distances 2 + 1.
+  EXPECT_DOUBLE_EQ(state.finite_cost(2.0, 2), 3.0);
+}
+
+TEST(BrDynamicsTest, ConvergesFromEmptyState) {
+  rng random(11);
+  const auto result = run_br_dynamics(empty_ucg_state(6), 1.5, random);
+  EXPECT_TRUE(result.converged);
+  const graph g = result.state.realize();
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(BrDynamicsTest, FixedPointIsNashSupportable) {
+  rng random(12);
+  for (const double alpha : {0.5, 1.5, 3.0, 6.0}) {
+    const auto result = run_br_dynamics(empty_ucg_state(6), alpha, random);
+    if (!result.converged) continue;
+    const graph g = result.state.realize();
+    EXPECT_TRUE(is_ucg_nash(g, alpha))
+        << "alpha=" << alpha << " " << to_string(g);
+  }
+}
+
+TEST(BrDynamicsTest, CheapLinksYieldDenseNetworks) {
+  rng random(13);
+  const auto result = run_br_dynamics(empty_ucg_state(5), 0.5, random);
+  EXPECT_TRUE(result.converged);
+  // At alpha < 1 every Nash network of the UCG is complete.
+  EXPECT_TRUE(are_isomorphic(result.state.realize(), complete(5)));
+}
+
+TEST(BrDynamicsTest, ExpensiveLinksYieldSparseNetworks) {
+  rng random(14);
+  const auto result = run_br_dynamics(empty_ucg_state(7), 5.0, random);
+  EXPECT_TRUE(result.converged);
+  const graph g = result.state.realize();
+  EXPECT_TRUE(is_connected(g));
+  // Trees (or near-trees): far fewer links than complete.
+  EXPECT_LE(g.size(), 9);
+}
+
+TEST(BrDynamicsTest, NashStartIsImmediateFixedPoint) {
+  // Star with leaves buying spokes is Nash at alpha = 2.
+  ucg_state state(6);
+  for (int leaf = 1; leaf < 6; ++leaf) {
+    state.bought[static_cast<std::size_t>(leaf)] = bit(0);
+  }
+  rng random(15);
+  const auto result =
+      run_br_dynamics(state, 2.0, random, {.random_order = false});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 1);  // one quiet round confirms the fixed point
+  EXPECT_EQ(result.state.bought, state.bought);
+}
+
+TEST(BrDynamicsTest, RoundRobinDeterministic) {
+  rng a(16);
+  rng b(16);
+  const auto r1 =
+      run_br_dynamics(empty_ucg_state(6), 2.0, a, {.random_order = false});
+  const auto r2 =
+      run_br_dynamics(empty_ucg_state(6), 2.0, b, {.random_order = false});
+  EXPECT_EQ(r1.state.bought, r2.state.bought);
+  EXPECT_EQ(r1.rounds, r2.rounds);
+}
+
+TEST(BrDynamicsTest, RoundCapRespected) {
+  rng random(17);
+  const auto result =
+      run_br_dynamics(empty_ucg_state(8), 1.0, random, {.max_rounds = 1});
+  EXPECT_EQ(result.rounds, 1);
+}
+
+TEST(BrDynamicsTest, Preconditions) {
+  rng random(18);
+  EXPECT_THROW((void)run_br_dynamics(empty_ucg_state(4), 0.0, random),
+               precondition_error);
+  EXPECT_THROW((void)ucg_state(0), precondition_error);
+  EXPECT_THROW((void)empty_ucg_state(5).finite_cost(1.0, 9), precondition_error);
+}
+
+}  // namespace
+}  // namespace bnf

@@ -1,0 +1,187 @@
+#include "graph/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "gen/named.hpp"
+#include "gen/random.hpp"
+#include "graph/metrics.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace bnf {
+namespace {
+
+std::vector<int> random_permutation(int n, rng& random) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  random.shuffle(std::span<int>(perm));
+  return perm;
+}
+
+TEST(CanonicalTest, CanonicalFormInvariantUnderRelabeling) {
+  rng random(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(random.below(11));
+    const graph g = gnp(n, 0.2 + 0.6 * random.uniform_real(), random);
+    const graph canon = canonical_form(g).canonical;
+    const graph relabeled = g.permuted(random_permutation(n, random));
+    const graph canon2 = canonical_form(relabeled).canonical;
+    ASSERT_EQ(canon, canon2) << "trial " << trial << " " << to_string(g);
+  }
+}
+
+TEST(CanonicalTest, CanonicalFormInvariantForSymmetricGraphs) {
+  rng random(7);
+  for (const graph& g : {complete(8), cycle(10), petersen(), star(9),
+                         complete_bipartite(4, 5), hypercube(3),
+                         octahedron(), paley(13)}) {
+    const graph canon = canonical_form(g).canonical;
+    for (int trial = 0; trial < 10; ++trial) {
+      const graph relabeled =
+          g.permuted(random_permutation(g.order(), random));
+      ASSERT_EQ(canonical_form(relabeled).canonical, canon);
+    }
+  }
+}
+
+TEST(CanonicalTest, LabelingActuallyProducesCanonicalGraph) {
+  rng random(55);
+  for (int trial = 0; trial < 50; ++trial) {
+    const graph g = gnp(8, 0.4, random);
+    const canon_result result = canonical_form(g);
+    // labeling[p] = original vertex at position p; applying the inverse
+    // permutation must yield result.canonical.
+    std::vector<int> perm(static_cast<std::size_t>(g.order()));
+    for (int p = 0; p < g.order(); ++p) {
+      perm[static_cast<std::size_t>(
+          result.labeling[static_cast<std::size_t>(p)])] = p;
+    }
+    EXPECT_EQ(g.permuted(perm), result.canonical);
+  }
+}
+
+TEST(CanonicalTest, CanonicalIdempotent) {
+  rng random(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const graph g = gnp(9, 0.5, random);
+    const graph canon = canonical_form(g).canonical;
+    EXPECT_EQ(canonical_form(canon).canonical, canon);
+  }
+}
+
+TEST(CanonicalTest, Key64AgreesWithCanonicalGraph) {
+  rng random(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const graph g = gnp(7, 0.5, random);
+    EXPECT_EQ(canonical_key64(g), canonical_form(g).canonical.key64());
+  }
+}
+
+TEST(CanonicalTest, IsomorphicPositivePairs) {
+  rng random(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 2 + static_cast<int>(random.below(10));
+    const graph g = gnp(n, 0.4, random);
+    const graph h = g.permuted(random_permutation(n, random));
+    ASSERT_TRUE(are_isomorphic(g, h));
+  }
+}
+
+TEST(CanonicalTest, NonIsomorphicDetected) {
+  EXPECT_FALSE(are_isomorphic(path(4), star(4)));
+  EXPECT_FALSE(are_isomorphic(cycle(6), complete_bipartite(3, 3)));
+  EXPECT_FALSE(are_isomorphic(petersen(), cycle(10)));
+  EXPECT_FALSE(are_isomorphic(complete(4), complete(5)));
+  // Same order, size and degree sequence but different structure:
+  // C6 vs two triangles.
+  graph two_triangles(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  EXPECT_FALSE(are_isomorphic(cycle(6), two_triangles));
+}
+
+TEST(CanonicalTest, ClassicIsomorphicPair) {
+  // C5 is self-complementary.
+  EXPECT_TRUE(are_isomorphic(cycle(5), cycle(5).complement()));
+  // The Petersen graph is the Kneser graph K(5,2): complement of the
+  // Johnson/triangular graph T(5) = line graph of K5.
+  EXPECT_TRUE(are_isomorphic(petersen(), petersen()));
+}
+
+TEST(CanonicalTest, OrbitsOfVertexTransitiveGraphs) {
+  for (const graph& g :
+       {cycle(8), complete(6), petersen(), hypercube(3), octahedron()}) {
+    EXPECT_EQ(orbit_count(g), 1) << to_string(g);
+  }
+}
+
+TEST(CanonicalTest, OrbitsOfStar) {
+  const auto orbits = automorphism_orbits(star(6));
+  // Hub alone; all leaves equivalent.
+  EXPECT_EQ(orbit_count(star(6)), 2);
+  EXPECT_EQ(orbits[0], 0);
+  for (int leaf = 1; leaf < 6; ++leaf) EXPECT_EQ(orbits[leaf], 1);
+}
+
+TEST(CanonicalTest, OrbitsOfPath) {
+  // Path 0-1-2-3-4: orbits {0,4}, {1,3}, {2}.
+  const auto orbits = automorphism_orbits(path(5));
+  EXPECT_EQ(orbits[0], orbits[4]);
+  EXPECT_EQ(orbits[1], orbits[3]);
+  EXPECT_NE(orbits[0], orbits[1]);
+  EXPECT_NE(orbits[0], orbits[2]);
+  EXPECT_EQ(orbit_count(path(5)), 3);
+}
+
+TEST(CanonicalTest, OrbitsInvariantUnderRelabeling) {
+  rng random(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const graph g = gnp(8, 0.35, random);
+    const auto perm = random_permutation(8, random);
+    const graph h = g.permuted(perm);
+    // Orbit partitions must correspond under perm.
+    const auto og = automorphism_orbits(g);
+    const auto oh = automorphism_orbits(h);
+    for (int u = 0; u < 8; ++u) {
+      for (int v = 0; v < 8; ++v) {
+        ASSERT_EQ(og[static_cast<std::size_t>(u)] ==
+                      og[static_cast<std::size_t>(v)],
+                  oh[static_cast<std::size_t>(perm[static_cast<std::size_t>(
+                      u)])] ==
+                      oh[static_cast<std::size_t>(
+                          perm[static_cast<std::size_t>(v)])]);
+      }
+    }
+  }
+}
+
+TEST(CanonicalTest, EmptyAndTinyGraphs) {
+  EXPECT_EQ(canonical_form(graph(0)).canonical.order(), 0);
+  EXPECT_EQ(canonical_form(graph(1)).canonical.order(), 1);
+  EXPECT_EQ(canonical_key64(graph(2)), 0ULL);
+  EXPECT_EQ(canonical_key64(complete(2)), 1ULL);
+}
+
+TEST(CanonicalTest, DistinguishesSrgFromRandomRegular) {
+  // Paley(13) vs cycle-power circulant: same degree everywhere.
+  const std::array<int, 3> offsets{1, 2, 3};
+  const graph circ = circulant(13, offsets);
+  EXPECT_EQ(regular_degree(circ), regular_degree(paley(13)));
+  EXPECT_FALSE(are_isomorphic(paley(13), circ));
+}
+
+TEST(CanonicalTest, GeneratorsFoundForSymmetricGraphs) {
+  EXPECT_GT(canonical_form(complete(6)).generators_found, 0);
+  EXPECT_GT(canonical_form(petersen()).generators_found, 0);
+  // An asymmetric graph: the smallest asymmetric tree (7 vertices).
+  graph asym(7, {{0, 1}, {1, 2}, {2, 3}, {2, 4}, {4, 5}, {5, 6}});
+  EXPECT_EQ(canonical_form(asym).generators_found, 0);
+  EXPECT_EQ(orbit_count(asym), 7);
+}
+
+}  // namespace
+}  // namespace bnf

@@ -1,0 +1,133 @@
+#include "game/efficiency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "gen/named.hpp"
+#include "graph/canonical.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+namespace {
+
+TEST(EfficiencyTest, CrossoverPerRule) {
+  EXPECT_DOUBLE_EQ(efficiency_crossover(link_rule::bilateral), 1.0);
+  EXPECT_DOUBLE_EQ(efficiency_crossover(link_rule::unilateral), 2.0);
+}
+
+TEST(EfficiencyTest, BcgClosedFormsMatchDirectSocialCost) {
+  for (const int n : {2, 4, 6, 9}) {
+    for (const double alpha : {0.25, 0.5, 0.99, 1.0, 1.5, 3.0, 10.0}) {
+      const connection_game game{n, alpha, link_rule::bilateral};
+      const graph expected = alpha < 1.0 ? complete(n) : star(n);
+      EXPECT_NEAR(optimal_social_cost(game),
+                  social_cost(expected, game).finite, 1e-9)
+          << "n=" << n << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(EfficiencyTest, UcgClosedFormsMatchDirectSocialCost) {
+  for (const int n : {2, 4, 6, 9}) {
+    for (const double alpha : {0.5, 1.0, 1.99, 2.0, 2.5, 8.0}) {
+      const connection_game game{n, alpha, link_rule::unilateral};
+      const graph expected = alpha < 2.0 ? complete(n) : star(n);
+      EXPECT_NEAR(optimal_social_cost(game),
+                  social_cost(expected, game).finite, 1e-9)
+          << "n=" << n << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(EfficiencyTest, CrossoverCostsAgree) {
+  // At the crossover both closed forms coincide.
+  const connection_game bcg{7, 1.0, link_rule::bilateral};
+  EXPECT_NEAR(social_cost(complete(7), bcg).finite,
+              social_cost(star(7), bcg).finite, 1e-9);
+  const connection_game ucg{7, 2.0, link_rule::unilateral};
+  EXPECT_NEAR(social_cost(complete(7), ucg).finite,
+              social_cost(star(7), ucg).finite, 1e-9);
+}
+
+class BruteForceOptimumSuite
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BruteForceOptimumSuite, BcgBruteForceMatchesClosedForm) {
+  const auto [n, alpha] = GetParam();
+  const connection_game game{n, alpha, link_rule::bilateral};
+  const auto brute = brute_force_optimum(game);
+  EXPECT_NEAR(brute.cost, optimal_social_cost(game), 1e-9);
+  // Lemma 4/5: the optimizer itself is complete (alpha<1) or star (alpha>1).
+  if (alpha < 1.0) {
+    EXPECT_TRUE(are_isomorphic(brute.best, complete(n)));
+  } else if (alpha > 1.0) {
+    EXPECT_TRUE(are_isomorphic(brute.best, star(n)));
+  }
+}
+
+TEST_P(BruteForceOptimumSuite, UcgBruteForceMatchesClosedForm) {
+  const auto [n, alpha] = GetParam();
+  const connection_game game{n, 2.0 * alpha, link_rule::unilateral};
+  const auto brute = brute_force_optimum(game);
+  EXPECT_NEAR(brute.cost, optimal_social_cost(game), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGames, BruteForceOptimumSuite,
+    ::testing::Combine(::testing::Values(4, 5, 6),
+                       ::testing::Values(0.5, 0.75, 1.5, 2.5, 6.0)));
+
+TEST(EfficiencyTest, EfficientGraphShape) {
+  EXPECT_TRUE(are_isomorphic(
+      efficient_graph({6, 0.5, link_rule::bilateral}), complete(6)));
+  EXPECT_TRUE(are_isomorphic(efficient_graph({6, 2.0, link_rule::bilateral}),
+                             star(6)));
+  EXPECT_TRUE(are_isomorphic(
+      efficient_graph({6, 1.5, link_rule::unilateral}), complete(6)));
+  EXPECT_TRUE(are_isomorphic(
+      efficient_graph({6, 2.5, link_rule::unilateral}), star(6)));
+}
+
+TEST(EfficiencyTest, PriceOfAnarchyBasics) {
+  // The efficient graph has PoA exactly 1.
+  const connection_game game{8, 3.0, link_rule::bilateral};
+  EXPECT_NEAR(price_of_anarchy(star(8), game), 1.0, 1e-12);
+  // Everything else is weakly worse.
+  EXPECT_GE(price_of_anarchy(cycle(8), game), 1.0);
+  EXPECT_GE(price_of_anarchy(complete(8), game), 1.0);
+  EXPECT_GE(price_of_anarchy(path(8), game), 1.0);
+}
+
+TEST(EfficiencyTest, PoAFormulaEquation7) {
+  // rho(G) = (2 alpha |A| + sum d) / (2 alpha n' + 2 n'(n'-1)) with n'=n-1
+  // replaced per paper: denominator 2 alpha (n-1) + 2(n-1)^2... we check
+  // against social_cost / optimal directly for a non-trivial graph.
+  const connection_game game{10, 4.0, link_rule::bilateral};
+  const graph g = petersen();
+  const double direct = social_cost(g, game).finite / optimal_social_cost(game);
+  EXPECT_NEAR(price_of_anarchy(g, game), direct, 1e-12);
+}
+
+TEST(EfficiencyTest, DisconnectedPoAIsInfinite) {
+  const connection_game game{4, 1.0, link_rule::bilateral};
+  EXPECT_TRUE(std::isinf(price_of_anarchy(graph(4), game)));
+}
+
+TEST(EfficiencyTest, SingletonGame) {
+  const connection_game game{1, 1.0, link_rule::bilateral};
+  EXPECT_DOUBLE_EQ(optimal_social_cost(game), 0.0);
+}
+
+TEST(EfficiencyTest, Preconditions) {
+  EXPECT_THROW((void)optimal_social_cost({0, 1.0, link_rule::bilateral}),
+               precondition_error);
+  EXPECT_THROW((void)optimal_social_cost({5, -1.0, link_rule::bilateral}),
+               precondition_error);
+  EXPECT_THROW((void)brute_force_optimum({10, 1.0, link_rule::bilateral}),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace bnf

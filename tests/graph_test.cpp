@@ -1,0 +1,175 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "gen/named.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  const graph g(5);
+  EXPECT_EQ(g.order(), 5);
+  EXPECT_EQ(g.size(), 0);
+  EXPECT_EQ(g.vertex_mask(), 0x1FULL);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_EQ(g.non_edges().size(), 10U);
+}
+
+TEST(GraphTest, OrderBoundsEnforced) {
+  EXPECT_NO_THROW(graph(0));
+  EXPECT_NO_THROW(graph(64));
+  EXPECT_THROW((void)graph(-1), precondition_error);
+  EXPECT_THROW((void)graph(65), precondition_error);
+}
+
+TEST(GraphTest, AddRemoveToggleEdges) {
+  graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_EQ(g.size(), 1);
+  g.add_edge(0, 1);  // idempotent
+  EXPECT_EQ(g.size(), 1);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.toggle_edge(2, 3));
+  EXPECT_FALSE(g.toggle_edge(2, 3));
+  EXPECT_EQ(g.size(), 0);
+}
+
+TEST(GraphTest, SelfLoopsRejected) {
+  graph g(3);
+  EXPECT_THROW((void)g.add_edge(1, 1), precondition_error);
+  EXPECT_THROW((void)g.has_edge(2, 2), precondition_error);
+}
+
+TEST(GraphTest, OutOfRangeVerticesRejected) {
+  graph g(3);
+  EXPECT_THROW((void)g.add_edge(0, 3), precondition_error);
+  EXPECT_THROW((void)g.degree(-1), precondition_error);
+  EXPECT_THROW((void)g.neighbors(3), precondition_error);
+}
+
+TEST(GraphTest, DegreesAndNeighborMasks) {
+  const graph g(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.neighbors(0), 0b1110ULL);
+  EXPECT_EQ(g.neighbors(2), 0b0001ULL);
+}
+
+TEST(GraphTest, EdgesListSortedAndComplete) {
+  const graph g(4, {{2, 3}, {0, 2}, {1, 0}});
+  const std::vector<std::pair<int, int>> expected{{0, 1}, {0, 2}, {2, 3}};
+  EXPECT_EQ(g.edges(), expected);
+}
+
+TEST(GraphTest, NonEdgesComplementEdges) {
+  const graph g = cycle(5);
+  const auto edges = g.edges();
+  const auto non = g.non_edges();
+  EXPECT_EQ(edges.size() + non.size(), 10U);
+  for (const auto& [u, v] : non) EXPECT_FALSE(g.has_edge(u, v));
+}
+
+TEST(GraphTest, WithWithoutEdgeDoNotMutate) {
+  const graph g = path(3);
+  const graph plus = g.with_edge(0, 2);
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_TRUE(plus.has_edge(0, 2));
+  const graph minus = g.without_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(minus.has_edge(0, 1));
+}
+
+TEST(GraphTest, ComplementInvolution) {
+  const graph g = petersen();
+  EXPECT_EQ(g.complement().complement(), g);
+  EXPECT_EQ(g.size() + g.complement().size(), 45);
+}
+
+TEST(GraphTest, PermutedPreservesAdjacency) {
+  const graph g = path(4);  // 0-1-2-3
+  const std::array<int, 4> perm{3, 2, 1, 0};
+  const graph h = g.permuted(perm);
+  EXPECT_TRUE(h.has_edge(3, 2));
+  EXPECT_TRUE(h.has_edge(2, 1));
+  EXPECT_TRUE(h.has_edge(1, 0));
+  EXPECT_EQ(h.size(), 3);
+}
+
+TEST(GraphTest, PermutedRejectsNonPermutation) {
+  const graph g(3);
+  const std::array<int, 3> bad{0, 0, 1};
+  EXPECT_THROW((void)g.permuted(bad), precondition_error);
+  const std::array<int, 2> short_perm{0, 1};
+  EXPECT_THROW((void)g.permuted(short_perm), precondition_error);
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  const graph g = cycle(5);
+  // Vertices {0,1,2} of C5 induce the path 0-1-2.
+  const graph h = g.induced(0b00111ULL);
+  EXPECT_EQ(h.order(), 3);
+  EXPECT_EQ(h.size(), 2);
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_TRUE(h.has_edge(1, 2));
+  EXPECT_FALSE(h.has_edge(0, 2));
+}
+
+TEST(GraphTest, WithVertexAppendsIsolated) {
+  const graph g = complete(3);
+  const graph h = g.with_vertex();
+  EXPECT_EQ(h.order(), 4);
+  EXPECT_EQ(h.size(), 3);
+  EXPECT_EQ(h.degree(3), 0);
+}
+
+TEST(GraphTest, Key64RoundTrip) {
+  const graph g = petersen();  // n=10 <= 11
+  const graph back = graph::from_key64(10, g.key64());
+  EXPECT_EQ(back, g);
+}
+
+TEST(GraphTest, Key64RejectsLargeOrder) {
+  EXPECT_THROW((void)complete(12).key64(), precondition_error);
+  EXPECT_THROW((void)graph::from_key64(12, 0), precondition_error);
+}
+
+TEST(GraphTest, Key64RejectsStrayBits) {
+  // n=3 has C(3,2)=3 pair bits; bit 3 is out of range.
+  EXPECT_THROW((void)graph::from_key64(3, 0b1000ULL), precondition_error);
+}
+
+TEST(GraphTest, Graph6RoundTripSmall) {
+  for (const graph& g :
+       {path(1), path(2), complete(5), cycle(7), petersen(), star(11)}) {
+    EXPECT_EQ(graph::from_graph6(g.to_graph6()), g) << to_string(g);
+  }
+}
+
+TEST(GraphTest, Graph6KnownEncodings) {
+  // K3 is "Bw" in graph6.
+  EXPECT_EQ(complete(3).to_graph6(), "Bw");
+  EXPECT_EQ(graph::from_graph6("Bw"), complete(3));
+}
+
+TEST(GraphTest, Graph6RejectsMalformed) {
+  EXPECT_THROW((void)graph::from_graph6(""), precondition_error);
+  EXPECT_THROW((void)graph::from_graph6("B"), precondition_error);  // truncated K3
+}
+
+TEST(GraphTest, ToStringMentionsEdges) {
+  const std::string text = to_string(path(3));
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("(0,1)"), std::string::npos);
+  EXPECT_NE(text.find("(1,2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bnf

@@ -1,0 +1,111 @@
+#include "dynamics/intermediary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "equilibria/pairwise_stability.hpp"
+#include "game/efficiency.hpp"
+#include "gen/named.hpp"
+#include "graph/canonical.hpp"
+#include "graph/paths.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace bnf {
+namespace {
+
+TEST(IntermediaryTest, PolicyNames) {
+  EXPECT_STREQ(to_string(intermediary_policy::random_move), "random");
+  EXPECT_STREQ(to_string(intermediary_policy::greedy_social),
+               "greedy-social");
+  EXPECT_STREQ(to_string(intermediary_policy::prefer_additions),
+               "additions-first");
+  EXPECT_STREQ(to_string(intermediary_policy::prefer_severances),
+               "severances-first");
+}
+
+TEST(IntermediaryTest, AbsorbsAtPairwiseStableNetworks) {
+  rng random(71);
+  for (const auto policy :
+       {intermediary_policy::random_move, intermediary_policy::greedy_social,
+        intermediary_policy::prefer_additions,
+        intermediary_policy::prefer_severances}) {
+    const auto result =
+        run_intermediary_dynamics(graph(7), 2.5, policy, random);
+    ASSERT_TRUE(result.converged) << to_string(policy);
+    EXPECT_TRUE(is_pairwise_stable(result.final, 2.5)) << to_string(policy);
+    EXPECT_TRUE(std::isfinite(result.social_cost));
+  }
+}
+
+TEST(IntermediaryTest, GreedyNeverWorseThanRandomOnAverage) {
+  // The intermediary steers within the same equilibrium constraints;
+  // greedy-social should reach (weakly) cheaper stable networks on
+  // average over seeds.
+  double greedy_total = 0.0;
+  double random_total = 0.0;
+  constexpr int seeds = 30;
+  for (int seed = 0; seed < seeds; ++seed) {
+    rng r1(static_cast<std::uint64_t>(seed));
+    rng r2(static_cast<std::uint64_t>(seed));
+    const auto greedy = run_intermediary_dynamics(
+        graph(8), 3.0, intermediary_policy::greedy_social, r1);
+    const auto uncontrolled = run_intermediary_dynamics(
+        graph(8), 3.0, intermediary_policy::random_move, r2);
+    ASSERT_TRUE(greedy.converged && uncontrolled.converged);
+    greedy_total += greedy.social_cost;
+    random_total += uncontrolled.social_cost;
+  }
+  EXPECT_LE(greedy_total, random_total + 1e-6);
+}
+
+TEST(IntermediaryTest, GreedyReachesTheOptimumFromEmpty) {
+  // From the empty network at alpha > 1, a social-cost-greedy
+  // intermediary builds the star (the efficient graph) — PoS = 1 achieved
+  // by steering alone.
+  rng random(72);
+  const auto result = run_intermediary_dynamics(
+      graph(8), 2.5, intermediary_policy::greedy_social, random);
+  ASSERT_TRUE(result.converged);
+  const connection_game game{8, 2.5, link_rule::bilateral};
+  EXPECT_NEAR(result.social_cost, optimal_social_cost(game), 1e-9);
+  EXPECT_TRUE(are_isomorphic(result.final, star(8)));
+}
+
+TEST(IntermediaryTest, SeverancesFirstPrunesDenseStarts) {
+  rng random(73);
+  const auto result = run_intermediary_dynamics(
+      complete(7), 3.0, intermediary_policy::prefer_severances, random);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LT(result.final.size(), complete(7).size());
+  EXPECT_TRUE(is_pairwise_stable(result.final, 3.0));
+}
+
+TEST(IntermediaryTest, StepCapRespected) {
+  rng random(74);
+  const auto result = run_intermediary_dynamics(
+      graph(8), 0.5, intermediary_policy::random_move, random,
+      {.max_steps = 2});
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.steps, 2);
+}
+
+TEST(IntermediaryTest, StableStartIsFixedPoint) {
+  rng random(75);
+  const auto result = run_intermediary_dynamics(
+      petersen(), 3.0, intermediary_policy::greedy_social, random);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.steps, 0);
+  EXPECT_EQ(result.final, petersen());
+}
+
+TEST(IntermediaryTest, RequiresPositiveAlpha) {
+  rng random(76);
+  EXPECT_THROW((void)run_intermediary_dynamics(
+                   graph(5), 0.0, intermediary_policy::random_move, random),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace bnf

@@ -1,0 +1,103 @@
+#include "dynamics/pairwise_dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "equilibria/pairwise_stability.hpp"
+#include "gen/named.hpp"
+#include "gen/random.hpp"
+#include "graph/canonical.hpp"
+#include "graph/paths.hpp"
+#include "util/rng.hpp"
+
+namespace bnf {
+namespace {
+
+TEST(PairwiseDynamicsTest, NoMovesAtStableGraphs) {
+  EXPECT_TRUE(improving_moves(star(7), 2.0).empty());
+  EXPECT_TRUE(improving_moves(complete(6), 0.5).empty());
+  EXPECT_TRUE(improving_moves(cycle(6), 3.0).empty());
+  EXPECT_TRUE(improving_moves(petersen(), 2.0).empty());
+}
+
+TEST(PairwiseDynamicsTest, MovesExistAtUnstableGraphs) {
+  EXPECT_FALSE(improving_moves(complete(6), 2.0).empty());  // severances
+  EXPECT_FALSE(improving_moves(path(6), 1.5).empty());      // additions
+  EXPECT_FALSE(improving_moves(graph(4), 1.0).empty());     // connect!
+}
+
+TEST(PairwiseDynamicsTest, CheapLinksConvergeToComplete) {
+  rng random(1);
+  const auto result = run_pairwise_dynamics(graph(6), 0.5, random);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(are_isomorphic(result.final, complete(6)));
+}
+
+TEST(PairwiseDynamicsTest, AbsorbingStatesArePairwiseStable) {
+  rng random(2);
+  for (const double alpha : {0.5, 1.5, 3.0, 8.0}) {
+    for (int trial = 0; trial < 15; ++trial) {
+      const graph start = gnp(7, 0.3, random);
+      const auto result = run_pairwise_dynamics(start, alpha, random);
+      if (!result.converged) continue;
+      if (is_connected(result.final)) {
+        EXPECT_TRUE(is_pairwise_stable(result.final, alpha))
+            << "alpha=" << alpha << " " << to_string(result.final);
+      }
+    }
+  }
+}
+
+TEST(PairwiseDynamicsTest, EmptyStartConnectsForReasonableAlpha) {
+  rng random(3);
+  const auto result = run_pairwise_dynamics(graph(8), 3.0, random);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_connected(result.final));
+  EXPECT_TRUE(is_pairwise_stable(result.final, 3.0));
+}
+
+TEST(PairwiseDynamicsTest, TraceRecordsAppliedMoves) {
+  rng random(4);
+  const auto result =
+      run_pairwise_dynamics(graph(5), 2.0, random, {.keep_trace = true});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(static_cast<long long>(result.trace.size()), result.steps);
+  // Replaying the trace from the start reproduces the final graph.
+  graph replay(5);
+  for (const auto& move : result.trace) {
+    if (move.type == pairwise_move::kind::add) {
+      replay.add_edge(move.u, move.v);
+    } else {
+      replay.remove_edge(move.u, move.v);
+    }
+  }
+  EXPECT_EQ(replay, result.final);
+}
+
+TEST(PairwiseDynamicsTest, StepCapStopsRun) {
+  rng random(5);
+  const auto result =
+      run_pairwise_dynamics(graph(8), 0.5, random, {.max_steps = 3});
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.steps, 3);
+}
+
+TEST(PairwiseDynamicsTest, StableStartStaysPut) {
+  rng random(6);
+  const auto result = run_pairwise_dynamics(star(7), 2.0, random);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.steps, 0);
+  EXPECT_EQ(result.final, star(7));
+}
+
+TEST(PairwiseDynamicsTest, SeveranceMoveAppliedWhenProfitable) {
+  // Complete graph at alpha = 2: first move must be a severance.
+  rng random(7);
+  const auto moves = improving_moves(complete(5), 2.0);
+  ASSERT_FALSE(moves.empty());
+  for (const auto& move : moves) {
+    EXPECT_EQ(move.type, pairwise_move::kind::sever);
+  }
+}
+
+}  // namespace
+}  // namespace bnf

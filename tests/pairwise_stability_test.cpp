@@ -1,0 +1,223 @@
+#include "equilibria/pairwise_stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/enumerate.hpp"
+#include "gen/named.hpp"
+#include "gen/random.hpp"
+#include "graph/canonical.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace bnf {
+namespace {
+
+TEST(PairwiseStabilityTest, DeletionIncreaseOnCycle) {
+  // C5: severing an edge turns the endpoint's distance profile from
+  // {1,1,2,2} (sum 6) into the path profile {1,2,3,4} (sum 10).
+  EXPECT_EQ(edge_deletion_increase(cycle(5), 0, 4), 4);
+  EXPECT_EQ(edge_deletion_increase(cycle(5), 4, 0), 4);
+}
+
+TEST(PairwiseStabilityTest, DeletionOfBridgeIsInfinite) {
+  EXPECT_EQ(edge_deletion_increase(path(4), 1, 2), infinite_delta);
+  EXPECT_EQ(edge_deletion_increase(star(6), 0, 3), infinite_delta);
+}
+
+TEST(PairwiseStabilityTest, AdditionDecreaseOnPath) {
+  // Path 0-1-2-3-4: adding (0,4) moves 4 from distance 4 to 1 and 3 from
+  // 3 to 2: saving 3 + 1 = 4 for endpoint 0.
+  EXPECT_EQ(edge_addition_decrease(path(5), 0, 4), 4);
+  // Adding (0,2): 2 moves 2->1; 3 moves 3->2; 4 moves 4->3: saving 3.
+  EXPECT_EQ(edge_addition_decrease(path(5), 0, 2), 3);
+}
+
+TEST(PairwiseStabilityTest, AdditionAcrossComponentsIsInfinite) {
+  const graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(edge_addition_decrease(g, 0, 2), infinite_delta);
+}
+
+TEST(PairwiseStabilityTest, DeltaPreconditions) {
+  EXPECT_THROW((void)edge_deletion_increase(path(3), 0, 2), precondition_error);
+  EXPECT_THROW((void)edge_addition_decrease(path(3), 0, 1), precondition_error);
+}
+
+TEST(PairwiseStabilityTest, Lemma4CompleteGraphWindow) {
+  // Lemma 4: for alpha < 1 the complete graph is pairwise stable (and it
+  // remains so exactly up to alpha = 1).
+  const auto interval = compute_stability_interval(complete(6));
+  EXPECT_DOUBLE_EQ(interval.alpha_min, 0.0);
+  EXPECT_DOUBLE_EQ(interval.alpha_max, 1.0);
+  EXPECT_TRUE(is_pairwise_stable(complete(6), 0.5));
+  EXPECT_TRUE(is_pairwise_stable(complete(6), 1.0));
+  EXPECT_FALSE(is_pairwise_stable(complete(6), 1.01));
+}
+
+TEST(PairwiseStabilityTest, Lemma4UniquenessBelowOne) {
+  // For alpha < 1 the complete graph is the ONLY pairwise stable graph.
+  for (const double alpha : {0.3, 0.7, 0.99}) {
+    int stable = 0;
+    for_each_graph(
+        6,
+        [&](const graph& g) {
+          if (is_pairwise_stable(g, alpha)) {
+            ++stable;
+            EXPECT_TRUE(are_isomorphic(g, complete(6)));
+          }
+        },
+        {.connected_only = true});
+    EXPECT_EQ(stable, 1) << "alpha=" << alpha;
+  }
+}
+
+TEST(PairwiseStabilityTest, Lemma5StarStableButNotUnique) {
+  // Star: stable for every alpha > 1 (window (1, inf]).
+  const auto interval = compute_stability_interval(star(8));
+  EXPECT_DOUBLE_EQ(interval.alpha_min, 1.0);
+  EXPECT_TRUE(std::isinf(interval.alpha_max));
+  EXPECT_TRUE(is_pairwise_stable(star(8), 1.5));
+  EXPECT_TRUE(is_pairwise_stable(star(8), 1000.0));
+  EXPECT_FALSE(is_pairwise_stable(star(8), 0.5));
+
+  // Not unique: at alpha = 3, C6 (window (2,6]) is also stable.
+  EXPECT_TRUE(is_pairwise_stable(star(6), 3.0));
+  EXPECT_TRUE(is_pairwise_stable(cycle(6), 3.0));
+}
+
+TEST(PairwiseStabilityTest, TreesStableForLargeAlpha) {
+  // Every edge of a tree is a bridge, so alpha_max = infinity.
+  rng random(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph t = random_tree(8, random);
+    const auto interval = compute_stability_interval(t);
+    EXPECT_TRUE(std::isinf(interval.alpha_max)) << to_string(t);
+    EXPECT_TRUE(is_pairwise_stable(t, interval.alpha_min + 1.0));
+  }
+}
+
+TEST(PairwiseStabilityTest, IntervalMatchesDirectCheckExhaustively) {
+  // Property: the stability_record predicate agrees with the literal
+  // Definition 3 check on every connected graph on 6 vertices across a
+  // grid that includes integer boundary cases.
+  const double alphas[] = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 7.0, 12.0};
+  for_each_graph(
+      6,
+      [&](const graph& g) {
+        const stability_record record = compute_stability_record(g);
+        for (const double alpha : alphas) {
+          ASSERT_EQ(record.stable_at(alpha), is_pairwise_stable(g, alpha))
+              << to_string(g) << " alpha=" << alpha;
+        }
+      },
+      {.connected_only = true});
+}
+
+TEST(PairwiseStabilityTest, OctahedronBoundaryCase) {
+  // SRG(6,4,2,4): every missing link saves exactly 1 for both endpoints
+  // and every severance costs exactly 1, so the octahedron is pairwise
+  // stable exactly at alpha = 1 — a tie case where the open Lemma-2
+  // interval is empty but Definition 3 holds.
+  const graph g = octahedron();
+  const auto record = compute_stability_record(g);
+  EXPECT_DOUBLE_EQ(record.alpha_min, 1.0);
+  EXPECT_DOUBLE_EQ(record.alpha_max, 1.0);
+  EXPECT_TRUE(record.boundary_stable);
+  EXPECT_TRUE(is_pairwise_stable(g, 1.0));
+  EXPECT_FALSE(is_pairwise_stable(g, 0.99));
+  EXPECT_FALSE(is_pairwise_stable(g, 1.01));
+}
+
+TEST(PairwiseStabilityTest, DisconnectedNeverStable) {
+  EXPECT_FALSE(is_pairwise_stable(graph(4), 2.0));
+  EXPECT_FALSE(is_pairwise_stable(graph(4, {{0, 1}, {2, 3}}), 2.0));
+  const auto violation = find_stability_violation(graph(3), 1.0);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->type, stability_violation::kind::disconnected);
+}
+
+TEST(PairwiseStabilityTest, ViolationWitnesses) {
+  // Complete graph at alpha=2: any endpoint strictly gains by severing.
+  const auto sever = find_stability_violation(complete(5), 2.0);
+  ASSERT_TRUE(sever.has_value());
+  EXPECT_EQ(sever->type, stability_violation::kind::severance);
+  EXPECT_FALSE(sever->describe().empty());
+
+  // Path at alpha=1.5: the ends block by adding a chord.
+  const auto add = find_stability_violation(path(6), 1.5);
+  ASSERT_TRUE(add.has_value());
+  EXPECT_EQ(add->type, stability_violation::kind::addition);
+
+  EXPECT_FALSE(find_stability_violation(star(6), 2.0).has_value());
+}
+
+TEST(PairwiseStabilityTest, PaperGalleryGraphsAreStableSomewhere) {
+  // Figure 1: Petersen, McGee, Clebsch, Hoffman–Singleton, star admit a
+  // nonempty stability window; the octahedron is boundary-stable at 1.
+  for (const auto& entry : paper_gallery()) {
+    if (entry.name == "desargues" || entry.name == "dodecahedron") continue;
+    const auto record = compute_stability_record(entry.g);
+    const bool somewhere =
+        record.alpha_min < record.alpha_max ||
+        (record.boundary_stable && record.alpha_min == record.alpha_max &&
+         record.alpha_min > 0);
+    EXPECT_TRUE(somewhere) << entry.name;
+  }
+}
+
+TEST(PairwiseStabilityTest, PetersenWindow) {
+  const auto interval = compute_stability_interval(petersen());
+  EXPECT_DOUBLE_EQ(interval.alpha_min, 1.0);
+  EXPECT_DOUBLE_EQ(interval.alpha_max, 5.0);
+  EXPECT_TRUE(is_pairwise_stable(petersen(), 3.0));
+}
+
+TEST(PairwiseStabilityTest, HoffmanSingletonWindow) {
+  const auto interval = compute_stability_interval(hoffman_singleton());
+  EXPECT_DOUBLE_EQ(interval.alpha_min, 1.0);
+  EXPECT_DOUBLE_EQ(interval.alpha_max, 9.0);
+}
+
+class CycleWindowSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(CycleWindowSuite, Lemma6MeasuredWindowsAreExact) {
+  // Exact windows for cycles, verified against per-alpha Definition 3
+  // checks just inside/outside the window. (The paper's closed forms match
+  // for even n; for odd n the measured alpha_max is (n-1)^2/4, not
+  // (n+1)(n-1)/4 — see EXPERIMENTS.md.)
+  const int n = GetParam();
+  const graph g = cycle(n);
+  const auto interval = compute_stability_interval(g);
+  ASSERT_TRUE(interval.nonempty());
+
+  if (n % 2 == 1) {
+    EXPECT_DOUBLE_EQ(interval.alpha_max, (n - 1) * (n - 1) / 4.0);
+  } else {
+    EXPECT_DOUBLE_EQ(interval.alpha_max, n * (n - 2) / 4.0);
+  }
+  if (n % 4 == 2) {
+    EXPECT_DOUBLE_EQ(interval.alpha_min, (n * n - 4 * n + 4) / 8.0);
+  } else if (n % 4 == 0) {
+    EXPECT_DOUBLE_EQ(interval.alpha_min, (n * n - 4 * n + 8) / 8.0);
+  }
+
+  const double inside = (interval.alpha_min + interval.alpha_max) / 2.0;
+  EXPECT_TRUE(is_pairwise_stable(g, inside));
+  EXPECT_FALSE(is_pairwise_stable(g, interval.alpha_max + 0.5));
+  if (interval.alpha_min > 0.5) {
+    EXPECT_FALSE(is_pairwise_stable(g, interval.alpha_min - 0.5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cycles, CycleWindowSuite,
+                         ::testing::Values(5, 6, 7, 8, 9, 10, 11, 12, 14, 16,
+                                           20, 24));
+
+TEST(PairwiseStabilityTest, RequiresPositiveAlpha) {
+  EXPECT_THROW((void)is_pairwise_stable(star(4), 0.0), precondition_error);
+  EXPECT_THROW((void)is_pairwise_stable(star(4), -1.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace bnf

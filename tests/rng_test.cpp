@@ -1,0 +1,123 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace bnf {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  rng a(42);
+  rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  rng random(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(random.below(13), 13U);
+}
+
+TEST(RngTest, BelowRejectsZero) {
+  rng random(7);
+  EXPECT_THROW((void)random.below(0), precondition_error);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  rng random(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto value = random.uniform_int(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 7U);  // all 7 values hit
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  rng random(11);
+  double sum = 0.0;
+  constexpr int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double value = random.uniform_real();
+    ASSERT_GE(value, 0.0);
+    ASSERT_LT(value, 1.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  rng random(13);
+  int hits = 0;
+  constexpr int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += random.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+  EXPECT_FALSE(random.bernoulli(0.0));
+  EXPECT_TRUE(random.bernoulli(1.0));
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  rng random(17);
+  std::vector<int> values(20);
+  for (int i = 0; i < 20; ++i) values[static_cast<std::size_t>(i)] = i;
+  auto shuffled = values;
+  random.shuffle(std::span<int>(shuffled));
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  rng random(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = random.sample_without_replacement(10, 4);
+    ASSERT_EQ(sample.size(), 4U);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    EXPECT_EQ(std::adjacent_find(sample.begin(), sample.end()), sample.end());
+    for (const int value : sample) {
+      EXPECT_GE(value, 0);
+      EXPECT_LT(value, 10);
+    }
+  }
+}
+
+TEST(RngTest, SampleEdgeCases) {
+  rng random(23);
+  EXPECT_TRUE(random.sample_without_replacement(5, 0).empty());
+  const auto full = random.sample_without_replacement(5, 5);
+  EXPECT_EQ(full, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_THROW((void)random.sample_without_replacement(3, 4), precondition_error);
+}
+
+TEST(RngTest, SampleIsRoughlyUniform) {
+  rng random(29);
+  std::array<int, 6> histogram{};
+  constexpr int trials = 12000;
+  for (int i = 0; i < trials; ++i) {
+    for (const int v : random.sample_without_replacement(6, 2)) {
+      ++histogram[static_cast<std::size_t>(v)];
+    }
+  }
+  // Each element appears in a 2-subset with probability 1/3.
+  for (const int count : histogram) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 1.0 / 3.0, 0.03);
+  }
+}
+
+}  // namespace
+}  // namespace bnf

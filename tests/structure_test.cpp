@@ -1,0 +1,72 @@
+#include "analysis/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "gen/named.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+namespace {
+
+TEST(StructureTest, ClassifiesBasicFamilies) {
+  EXPECT_EQ(classify_topology(path(6)), topology_class::tree);
+  EXPECT_EQ(classify_topology(star(6)), topology_class::tree);
+  EXPECT_EQ(classify_topology(cycle(6)), topology_class::unicyclic);
+  EXPECT_EQ(classify_topology(complete(5)), topology_class::multicyclic);
+  EXPECT_EQ(classify_topology(petersen()), topology_class::multicyclic);
+  EXPECT_EQ(classify_topology(graph(1)), topology_class::tree);
+}
+
+TEST(StructureTest, ClassNames) {
+  EXPECT_STREQ(to_string(topology_class::tree), "tree");
+  EXPECT_STREQ(to_string(topology_class::unicyclic), "unicyclic");
+  EXPECT_STREQ(to_string(topology_class::multicyclic), "multicyclic");
+}
+
+TEST(StructureTest, RequiresConnected) {
+  EXPECT_THROW((void)classify_topology(graph(3)), precondition_error);
+}
+
+TEST(StructureTest, AnalyzeStructureAggregates) {
+  const std::array<graph, 3> family{star(6), cycle(6), complete(6)};
+  const auto census = analyze_structure(family);
+  EXPECT_EQ(census.trees, 1);
+  EXPECT_EQ(census.unicyclic, 1);
+  EXPECT_EQ(census.multicyclic, 1);
+  EXPECT_EQ(census.total(), 3);
+  // Diameters: 2, 3, 1.
+  EXPECT_DOUBLE_EQ(census.avg_diameter, 2.0);
+  EXPECT_EQ(census.min_diameter, 1);
+  EXPECT_EQ(census.max_diameter, 3);
+  // Max degrees: 5, 2, 5.
+  EXPECT_DOUBLE_EQ(census.avg_max_degree, 4.0);
+}
+
+TEST(StructureTest, StableSetCompositionShiftsWithAlpha) {
+  // Cheap links: the unique stable graph is complete (multicyclic).
+  const auto cheap = stable_set_structure(6, 0.7);
+  EXPECT_EQ(cheap.total(), 1);
+  EXPECT_EQ(cheap.multicyclic, 1);
+
+  // Expensive links: every stable graph is a tree (Section 5 note).
+  const auto pricey = stable_set_structure(6, 6.0 * 6.0 + 0.5);
+  EXPECT_EQ(pricey.multicyclic, 0);
+  EXPECT_EQ(pricey.unicyclic, 0);
+  EXPECT_GT(pricey.trees, 0);
+
+  // Intermediate: a mix, including non-trees (the over-connection that
+  // drives Figure 3).
+  const auto mid = stable_set_structure(6, 2.6);
+  EXPECT_GT(mid.total(), 1);
+  EXPECT_GT(mid.trees + mid.unicyclic + mid.multicyclic, mid.trees);
+}
+
+TEST(StructureTest, EmptyFamilyThrows) {
+  EXPECT_THROW((void)analyze_structure({}), precondition_error);
+  EXPECT_THROW((void)stable_set_structure(9, 1.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace bnf

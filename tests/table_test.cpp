@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace bnf {
+namespace {
+
+TEST(TableTest, FmtDoubleTrimsTrailingZeros) {
+  EXPECT_EQ(fmt_double(1.5), "1.5");
+  EXPECT_EQ(fmt_double(2.0), "2");
+  EXPECT_EQ(fmt_double(0.125, 3), "0.125");
+  EXPECT_EQ(fmt_double(0.1239, 3), "0.124");
+  EXPECT_EQ(fmt_double(-3.10, 2), "-3.1");
+}
+
+TEST(TableTest, FmtAlphaHandlesInfinity) {
+  EXPECT_EQ(fmt_alpha(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(fmt_alpha(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(fmt_alpha(4.25), "4.25");
+}
+
+TEST(TableTest, PrintAlignsColumns) {
+  text_table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  text_table table({"a", "b"});
+  EXPECT_THROW((void)table.add_row({"only-one"}), precondition_error);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW((void)text_table(std::vector<std::string>{}), precondition_error);
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  text_table table({"k", "v"});
+  table.add_row({"plain", "a,b"});
+  table.add_row({"quote", "say \"hi\""});
+  std::ostringstream out;
+  table.to_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 4), "k,v\n");
+}
+
+TEST(TableTest, RowCount) {
+  text_table table({"a"});
+  EXPECT_EQ(table.row_count(), 0U);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2U);
+}
+
+}  // namespace
+}  // namespace bnf

@@ -1,0 +1,83 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bnf {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t total = 10000;
+  std::vector<std::atomic<int>> touched(total);
+  parallel_for_chunks(total, 4, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(touched[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  std::vector<int> values(100, 0);
+  parallel_for_chunks(values.size(), 1, [&](std::size_t begin,
+                                            std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) values[i] = static_cast<int>(i);
+  });
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], static_cast<int>(i));
+  }
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsNoop) {
+  int calls = 0;
+  parallel_for_chunks(0, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanItems) {
+  std::atomic<int> sum{0};
+  parallel_for_chunks(3, 16, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      sum.fetch_add(static_cast<int>(i));
+    }
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ThreadPoolTest, PropagatesWorkerException) {
+  EXPECT_THROW((void)parallel_for_chunks(100, 4,
+                                   [&](std::size_t begin, std::size_t) {
+                                     if (begin == 0) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ChunksArePartition) {
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunks(1000, 7, [&](std::size_t begin, std::size_t end) {
+    const std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(begin, end);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_GT(end, begin);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 1000U);
+}
+
+}  // namespace
+}  // namespace bnf

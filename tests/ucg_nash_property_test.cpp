@@ -1,0 +1,148 @@
+// Property suites for the UCG Nash machinery: witness validity,
+// isomorphism invariance, and agreement between the orientation search
+// and the public best-response oracle.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "equilibria/ucg_nash.hpp"
+#include "gen/enumerate.hpp"
+#include "gen/named.hpp"
+#include "gen/random.hpp"
+#include "graph/paths.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace bnf {
+namespace {
+
+// Re-derive each player's paid mask from a witness orientation.
+std::vector<std::uint64_t> paid_masks(const graph& g,
+                                      const ucg_nash_result& result) {
+  std::vector<std::uint64_t> paid(static_cast<std::size_t>(g.order()), 0);
+  for (const auto& [buyer, other] : result.orientation) {
+    paid[static_cast<std::size_t>(buyer)] |= bit(other);
+  }
+  return paid;
+}
+
+TEST(UcgNashPropertyTest, WitnessOrientationCoversEachEdgeOnce) {
+  rng random(601);
+  int supportable_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 5 + static_cast<int>(random.below(4));
+    const graph g = random_tree(n, random);
+    const double alpha = 2.0 + 8.0 * random.uniform_real();
+    const auto result = ucg_nash_supportable(g, alpha);
+    if (!result.supportable) continue;
+    ++supportable_seen;
+    ASSERT_EQ(result.orientation.size(), static_cast<std::size_t>(g.size()));
+    graph covered(g.order());
+    for (const auto& [buyer, other] : result.orientation) {
+      ASSERT_TRUE(g.has_edge(buyer, other));
+      ASSERT_FALSE(covered.has_edge(buyer, other));  // no double-buy
+      covered.add_edge(buyer, other);
+    }
+    ASSERT_EQ(covered, g);
+  }
+  EXPECT_GT(supportable_seen, 10);
+}
+
+TEST(UcgNashPropertyTest, WitnessPlayersPassPublicBestResponse) {
+  // Every player in a witness orientation must already be playing a best
+  // response per the PUBLIC oracle (independent of the search internals).
+  rng random(602);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 5 + static_cast<int>(random.below(3));
+    const graph g = random_tree(n, random);
+    const double alpha = 3.0 + 5.0 * random.uniform_real();
+    const auto result = ucg_nash_supportable(g, alpha);
+    if (!result.supportable) continue;
+    const auto paid = paid_masks(g, result);
+    for (int i = 0; i < n; ++i) {
+      const double current =
+          alpha * popcount(paid[static_cast<std::size_t>(i)]) +
+          static_cast<double>(distance_sum(g, i).sum);
+      const double best = ucg_best_response_cost(
+          g, alpha, i, paid[static_cast<std::size_t>(i)]);
+      ASSERT_LE(best, current + 1e-9);
+      ASSERT_GE(best, current - 1e-9)  // witness IS a best response
+          << to_string(g) << " player " << i;
+    }
+  }
+}
+
+TEST(UcgNashPropertyTest, NashIsIsomorphismInvariant) {
+  rng random(603);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 5 + static_cast<int>(random.below(3));
+    const int max_edges = n * (n - 1) / 2;
+    const int m = std::min(max_edges,
+                           n - 1 + static_cast<int>(random.below(
+                                       static_cast<std::uint64_t>(n))));
+    const graph g = random_connected_gnm(n, m, random);
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    random.shuffle(std::span<int>(perm));
+    const graph h = g.permuted(perm);
+    const double alpha = 0.7 + 4.0 * random.uniform_real();
+    ASSERT_EQ(is_ucg_nash(g, alpha), is_ucg_nash(h, alpha)) << to_string(g);
+  }
+}
+
+TEST(UcgNashPropertyTest, BestResponseNeverExceedsStatusQuo) {
+  rng random(604);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 5 + static_cast<int>(random.below(4));
+    const graph g = random_connected_gnm(n, n, random);
+    const double alpha = 0.5 + 5.0 * random.uniform_real();
+    const int i = static_cast<int>(
+        random.below(static_cast<std::uint64_t>(n)));
+    // Treat all incident edges as paid by i.
+    const std::uint64_t paid = g.neighbors(i);
+    const double current = alpha * popcount(paid) +
+                           static_cast<double>(distance_sum(g, i).sum);
+    ASSERT_LE(ucg_best_response_cost(g, alpha, i, paid), current + 1e-9);
+  }
+}
+
+TEST(UcgNashPropertyTest, BestResponseMonotoneInAlpha) {
+  // The optimal cost is nondecreasing in alpha (more expensive links
+  // cannot make the optimum cheaper).
+  const graph g = petersen();
+  double previous = 0.0;
+  for (const double alpha : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double best =
+        ucg_best_response_given_kept(g, alpha, 0, 0).cost;
+    ASSERT_GE(best, previous);
+    previous = best;
+  }
+}
+
+TEST(UcgNashPropertyTest, NashCountsStableUnderThreading) {
+  // The checker is deterministic: repeated runs agree (guards against
+  // accidental dependence on hash iteration order in the memo).
+  const graph g = cycle(5).with_vertex().with_edge(0, 5).with_edge(2, 5);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    EXPECT_EQ(is_ucg_nash(g, 2.3), is_ucg_nash(g, 2.3));
+  }
+}
+
+TEST(UcgNashPropertyTest, AtTinyAlphaOnlyCompleteIsNash) {
+  for (const int n : {4, 5, 6}) {
+    long long nash = 0;
+    for_each_graph(
+        n,
+        [&](const graph& g) {
+          if (is_ucg_nash(g, 0.6)) {
+            ++nash;
+            ASSERT_EQ(g.size(), n * (n - 1) / 2);
+          }
+        },
+        {.connected_only = true});
+    EXPECT_EQ(nash, 1);
+  }
+}
+
+}  // namespace
+}  // namespace bnf
