@@ -6,6 +6,7 @@
 #include "gen/named.hpp"
 #include "graph/canonical.hpp"
 #include "graph/paths.hpp"
+#include "testing.hpp"
 #include "util/bitops.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
@@ -35,7 +36,7 @@ TEST(BrDynamicsTest, FiniteCostCountsOwnLinksOnly) {
 }
 
 TEST(BrDynamicsTest, ConvergesFromEmptyState) {
-  rng random(11);
+  rng random = testing::seeded_rng();
   const auto result = run_br_dynamics(empty_ucg_state(6), 1.5, random);
   EXPECT_TRUE(result.converged);
   const graph g = result.state.realize();
@@ -43,7 +44,7 @@ TEST(BrDynamicsTest, ConvergesFromEmptyState) {
 }
 
 TEST(BrDynamicsTest, FixedPointIsNashSupportable) {
-  rng random(12);
+  rng random = testing::seeded_rng();
   for (const double alpha : {0.5, 1.5, 3.0, 6.0}) {
     const auto result = run_br_dynamics(empty_ucg_state(6), alpha, random);
     if (!result.converged) continue;
@@ -54,7 +55,7 @@ TEST(BrDynamicsTest, FixedPointIsNashSupportable) {
 }
 
 TEST(BrDynamicsTest, CheapLinksYieldDenseNetworks) {
-  rng random(13);
+  rng random = testing::seeded_rng();
   const auto result = run_br_dynamics(empty_ucg_state(5), 0.5, random);
   EXPECT_TRUE(result.converged);
   // At alpha < 1 every Nash network of the UCG is complete.
@@ -62,7 +63,7 @@ TEST(BrDynamicsTest, CheapLinksYieldDenseNetworks) {
 }
 
 TEST(BrDynamicsTest, ExpensiveLinksYieldSparseNetworks) {
-  rng random(14);
+  rng random = testing::seeded_rng();
   const auto result = run_br_dynamics(empty_ucg_state(7), 5.0, random);
   EXPECT_TRUE(result.converged);
   const graph g = result.state.realize();
@@ -77,7 +78,7 @@ TEST(BrDynamicsTest, NashStartIsImmediateFixedPoint) {
   for (int leaf = 1; leaf < 6; ++leaf) {
     state.bought[static_cast<std::size_t>(leaf)] = bit(0);
   }
-  rng random(15);
+  rng random = testing::seeded_rng();
   const auto result =
       run_br_dynamics(state, 2.0, random, {.random_order = false});
   EXPECT_TRUE(result.converged);
@@ -86,8 +87,8 @@ TEST(BrDynamicsTest, NashStartIsImmediateFixedPoint) {
 }
 
 TEST(BrDynamicsTest, RoundRobinDeterministic) {
-  rng a(16);
-  rng b(16);
+  rng a = testing::seeded_rng("BrDynamicsTest.same-stream");
+  rng b = testing::seeded_rng("BrDynamicsTest.same-stream");
   const auto r1 =
       run_br_dynamics(empty_ucg_state(6), 2.0, a, {.random_order = false});
   const auto r2 =
@@ -97,14 +98,14 @@ TEST(BrDynamicsTest, RoundRobinDeterministic) {
 }
 
 TEST(BrDynamicsTest, RoundCapRespected) {
-  rng random(17);
+  rng random = testing::seeded_rng();
   const auto result =
       run_br_dynamics(empty_ucg_state(8), 1.0, random, {.max_rounds = 1});
   EXPECT_EQ(result.rounds, 1);
 }
 
 TEST(BrDynamicsTest, Preconditions) {
-  rng random(18);
+  rng random = testing::seeded_rng();
   EXPECT_THROW((void)run_br_dynamics(empty_ucg_state(4), 0.0, random),
                precondition_error);
   EXPECT_THROW((void)ucg_state(0), precondition_error);

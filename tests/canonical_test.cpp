@@ -11,6 +11,7 @@
 #include "gen/named.hpp"
 #include "gen/random.hpp"
 #include "graph/metrics.hpp"
+#include "testing.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -25,7 +26,7 @@ std::vector<int> random_permutation(int n, rng& random) {
 }
 
 TEST(CanonicalTest, CanonicalFormInvariantUnderRelabeling) {
-  rng random(2024);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 200; ++trial) {
     const int n = 1 + static_cast<int>(random.below(11));
     const graph g = gnp(n, 0.2 + 0.6 * random.uniform_real(), random);
@@ -37,7 +38,7 @@ TEST(CanonicalTest, CanonicalFormInvariantUnderRelabeling) {
 }
 
 TEST(CanonicalTest, CanonicalFormInvariantForSymmetricGraphs) {
-  rng random(7);
+  rng random = testing::seeded_rng();
   for (const graph& g : {complete(8), cycle(10), petersen(), star(9),
                          complete_bipartite(4, 5), hypercube(3),
                          octahedron(), paley(13)}) {
@@ -51,7 +52,7 @@ TEST(CanonicalTest, CanonicalFormInvariantForSymmetricGraphs) {
 }
 
 TEST(CanonicalTest, LabelingActuallyProducesCanonicalGraph) {
-  rng random(55);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 50; ++trial) {
     const graph g = gnp(8, 0.4, random);
     const canon_result result = canonical_form(g);
@@ -67,7 +68,7 @@ TEST(CanonicalTest, LabelingActuallyProducesCanonicalGraph) {
 }
 
 TEST(CanonicalTest, CanonicalIdempotent) {
-  rng random(99);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 50; ++trial) {
     const graph g = gnp(9, 0.5, random);
     const graph canon = canonical_form(g).canonical;
@@ -76,7 +77,7 @@ TEST(CanonicalTest, CanonicalIdempotent) {
 }
 
 TEST(CanonicalTest, Key64AgreesWithCanonicalGraph) {
-  rng random(13);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 50; ++trial) {
     const graph g = gnp(7, 0.5, random);
     EXPECT_EQ(canonical_key64(g), canonical_form(g).canonical.key64());
@@ -84,7 +85,7 @@ TEST(CanonicalTest, Key64AgreesWithCanonicalGraph) {
 }
 
 TEST(CanonicalTest, IsomorphicPositivePairs) {
-  rng random(31);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 100; ++trial) {
     const int n = 2 + static_cast<int>(random.below(10));
     const graph g = gnp(n, 0.4, random);
@@ -138,7 +139,7 @@ TEST(CanonicalTest, OrbitsOfPath) {
 }
 
 TEST(CanonicalTest, OrbitsInvariantUnderRelabeling) {
-  rng random(77);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 30; ++trial) {
     const graph g = gnp(8, 0.35, random);
     const auto perm = random_permutation(8, random);

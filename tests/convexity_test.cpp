@@ -6,6 +6,7 @@
 #include "gen/enumerate.hpp"
 #include "gen/named.hpp"
 #include "gen/random.hpp"
+#include "testing.hpp"
 #include "util/bitops.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
@@ -54,7 +55,7 @@ TEST(ConvexityTest, Lemma1HoldsExhaustivelyOnSmallGraphs) {
 }
 
 TEST(ConvexityTest, Lemma1PropertyTestOnRandomGraphs) {
-  rng random(23);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 200; ++trial) {
     const int n = 4 + static_cast<int>(random.below(7));
     const int max_edges = n * (n - 1) / 2;

@@ -18,6 +18,7 @@
 #include "gen/enumerate.hpp"
 #include "gen/named.hpp"
 #include "graph/canonical.hpp"
+#include "testing.hpp"
 #include "util/rng.hpp"
 
 namespace bnf {
@@ -39,7 +40,7 @@ TEST(CrossModuleTest, SampledEquilibriaAreSubsetOfCensus) {
       {.connected_only = true});
   ASSERT_FALSE(census_keys.empty());
 
-  rng random(404);
+  rng random = testing::seeded_rng();
   const auto sample = sample_bcg_equilibria(n, alpha, random, {.runs = 80});
   ASSERT_FALSE(sample.equilibria.empty());
   for (const auto& eq : sample.equilibria) {
@@ -50,7 +51,7 @@ TEST(CrossModuleTest, SampledEquilibriaAreSubsetOfCensus) {
 TEST(CrossModuleTest, IntermediaryOutcomesAreCensusMembers) {
   const int n = 7;
   const double alpha = 3.4;
-  rng random(405);
+  rng random = testing::seeded_rng();
   for (const auto policy :
        {intermediary_policy::greedy_social,
         intermediary_policy::prefer_additions}) {

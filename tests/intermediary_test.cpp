@@ -9,6 +9,7 @@
 #include "gen/named.hpp"
 #include "graph/canonical.hpp"
 #include "graph/paths.hpp"
+#include "testing.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -26,7 +27,7 @@ TEST(IntermediaryTest, PolicyNames) {
 }
 
 TEST(IntermediaryTest, AbsorbsAtPairwiseStableNetworks) {
-  rng random(71);
+  rng random = testing::seeded_rng();
   for (const auto policy :
        {intermediary_policy::random_move, intermediary_policy::greedy_social,
         intermediary_policy::prefer_additions,
@@ -64,7 +65,7 @@ TEST(IntermediaryTest, GreedyReachesTheOptimumFromEmpty) {
   // From the empty network at alpha > 1, a social-cost-greedy
   // intermediary builds the star (the efficient graph) — PoS = 1 achieved
   // by steering alone.
-  rng random(72);
+  rng random = testing::seeded_rng();
   const auto result = run_intermediary_dynamics(
       graph(8), 2.5, intermediary_policy::greedy_social, random);
   ASSERT_TRUE(result.converged);
@@ -74,7 +75,7 @@ TEST(IntermediaryTest, GreedyReachesTheOptimumFromEmpty) {
 }
 
 TEST(IntermediaryTest, SeverancesFirstPrunesDenseStarts) {
-  rng random(73);
+  rng random = testing::seeded_rng();
   const auto result = run_intermediary_dynamics(
       complete(7), 3.0, intermediary_policy::prefer_severances, random);
   ASSERT_TRUE(result.converged);
@@ -83,7 +84,7 @@ TEST(IntermediaryTest, SeverancesFirstPrunesDenseStarts) {
 }
 
 TEST(IntermediaryTest, StepCapRespected) {
-  rng random(74);
+  rng random = testing::seeded_rng();
   const auto result = run_intermediary_dynamics(
       graph(8), 0.5, intermediary_policy::random_move, random,
       {.max_steps = 2});
@@ -92,7 +93,7 @@ TEST(IntermediaryTest, StepCapRespected) {
 }
 
 TEST(IntermediaryTest, StableStartIsFixedPoint) {
-  rng random(75);
+  rng random = testing::seeded_rng();
   const auto result = run_intermediary_dynamics(
       petersen(), 3.0, intermediary_policy::greedy_social, random);
   EXPECT_TRUE(result.converged);
@@ -101,7 +102,7 @@ TEST(IntermediaryTest, StableStartIsFixedPoint) {
 }
 
 TEST(IntermediaryTest, RequiresPositiveAlpha) {
-  rng random(76);
+  rng random = testing::seeded_rng();
   EXPECT_THROW((void)run_intermediary_dynamics(
                    graph(5), 0.0, intermediary_policy::random_move, random),
                precondition_error);

@@ -7,6 +7,7 @@
 #include "gen/random.hpp"
 #include "graph/canonical.hpp"
 #include "graph/paths.hpp"
+#include "testing.hpp"
 #include "util/rng.hpp"
 
 namespace bnf {
@@ -26,14 +27,14 @@ TEST(PairwiseDynamicsTest, MovesExistAtUnstableGraphs) {
 }
 
 TEST(PairwiseDynamicsTest, CheapLinksConvergeToComplete) {
-  rng random(1);
+  rng random = testing::seeded_rng();
   const auto result = run_pairwise_dynamics(graph(6), 0.5, random);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(are_isomorphic(result.final, complete(6)));
 }
 
 TEST(PairwiseDynamicsTest, AbsorbingStatesArePairwiseStable) {
-  rng random(2);
+  rng random = testing::seeded_rng();
   for (const double alpha : {0.5, 1.5, 3.0, 8.0}) {
     for (int trial = 0; trial < 15; ++trial) {
       const graph start = gnp(7, 0.3, random);
@@ -48,7 +49,7 @@ TEST(PairwiseDynamicsTest, AbsorbingStatesArePairwiseStable) {
 }
 
 TEST(PairwiseDynamicsTest, EmptyStartConnectsForReasonableAlpha) {
-  rng random(3);
+  rng random = testing::seeded_rng();
   const auto result = run_pairwise_dynamics(graph(8), 3.0, random);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(is_connected(result.final));
@@ -56,7 +57,7 @@ TEST(PairwiseDynamicsTest, EmptyStartConnectsForReasonableAlpha) {
 }
 
 TEST(PairwiseDynamicsTest, TraceRecordsAppliedMoves) {
-  rng random(4);
+  rng random = testing::seeded_rng();
   const auto result =
       run_pairwise_dynamics(graph(5), 2.0, random, {.keep_trace = true});
   EXPECT_TRUE(result.converged);
@@ -74,7 +75,7 @@ TEST(PairwiseDynamicsTest, TraceRecordsAppliedMoves) {
 }
 
 TEST(PairwiseDynamicsTest, StepCapStopsRun) {
-  rng random(5);
+  rng random = testing::seeded_rng();
   const auto result =
       run_pairwise_dynamics(graph(8), 0.5, random, {.max_steps = 3});
   EXPECT_FALSE(result.converged);
@@ -82,7 +83,7 @@ TEST(PairwiseDynamicsTest, StepCapStopsRun) {
 }
 
 TEST(PairwiseDynamicsTest, StableStartStaysPut) {
-  rng random(6);
+  rng random = testing::seeded_rng();
   const auto result = run_pairwise_dynamics(star(7), 2.0, random);
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.steps, 0);
@@ -91,7 +92,6 @@ TEST(PairwiseDynamicsTest, StableStartStaysPut) {
 
 TEST(PairwiseDynamicsTest, SeveranceMoveAppliedWhenProfitable) {
   // Complete graph at alpha = 2: first move must be a severance.
-  rng random(7);
   const auto moves = improving_moves(complete(5), 2.0);
   ASSERT_FALSE(moves.empty());
   for (const auto& move : moves) {

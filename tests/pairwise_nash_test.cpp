@@ -9,6 +9,7 @@
 #include "gen/enumerate.hpp"
 #include "gen/named.hpp"
 #include "gen/random.hpp"
+#include "testing.hpp"
 #include "util/rng.hpp"
 
 namespace bnf {
@@ -58,7 +59,7 @@ TEST(PairwiseNashTest, Proposition1EquivalenceExhaustive) {
 }
 
 TEST(PairwiseNashTest, Proposition1OnRandomLargerGraphs) {
-  rng random(47);
+  rng random = testing::seeded_rng();
   const double alphas[] = {0.75, 1.0, 2.0, 3.5, 8.0};
   for (int trial = 0; trial < 60; ++trial) {
     const int n = 7 + static_cast<int>(random.below(3));

@@ -8,6 +8,7 @@
 #include "gen/named.hpp"
 #include "gen/random.hpp"
 #include "graph/canonical.hpp"
+#include "testing.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -88,7 +89,7 @@ TEST(PairwiseStabilityTest, Lemma5StarStableButNotUnique) {
 
 TEST(PairwiseStabilityTest, TreesStableForLargeAlpha) {
   // Every edge of a tree is a bridge, so alpha_max = infinity.
-  rng random(5);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 20; ++trial) {
     const graph t = random_tree(8, random);
     const auto interval = compute_stability_interval(t);

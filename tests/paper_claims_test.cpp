@@ -17,6 +17,7 @@
 #include "gen/random.hpp"
 #include "graph/metrics.hpp"
 #include "graph/paths.hpp"
+#include "testing.hpp"
 #include "util/rng.hpp"
 
 namespace bnf {
@@ -169,7 +170,7 @@ TEST(PaperClaimsTest, Section43CostTranslationInequality) {
   // Footnote 6's accounting: for any connected graph G with UCG social
   // cost C, the BCG social cost is exactly C + alpha*|A| (each edge is
   // paid twice instead of once), hence >= C + alpha*(n-1).
-  rng random(7);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 50; ++trial) {
     const int n = 5 + static_cast<int>(random.below(4));
     const int max_edges = n * (n - 1) / 2;

@@ -8,6 +8,7 @@
 
 #include "gen/named.hpp"
 #include "gen/random.hpp"
+#include "testing.hpp"
 #include "util/rng.hpp"
 
 namespace bnf {
@@ -33,7 +34,7 @@ std::vector<std::vector<int>> floyd_warshall(const graph& g) {
 }
 
 TEST(PathsTest, BfsMatchesFloydWarshallOnRandomGraphs) {
-  rng random(123);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 40; ++trial) {
     const int n = 2 + static_cast<int>(random.below(14));
     const graph g = gnp(n, 0.3, random);
@@ -52,7 +53,7 @@ TEST(PathsTest, BfsMatchesFloydWarshallOnRandomGraphs) {
 }
 
 TEST(PathsTest, DistanceSumMatchesBfsVector) {
-  rng random(321);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 30; ++trial) {
     const graph g = gnp(9, 0.35, random);
     for (int v = 0; v < g.order(); ++v) {

@@ -8,6 +8,7 @@
 
 #include "graph/canonical.hpp"
 #include "graph/paths.hpp"
+#include "testing.hpp"
 #include "util/contracts.hpp"
 
 namespace bnf {
@@ -22,7 +23,7 @@ bool degree_sequence_is_star(const graph& g) {
 }
 
 TEST(RandomGraphsTest, GnpEdgeCountConcentrates) {
-  rng random(1);
+  rng random = testing::seeded_rng();
   const int n = 20;
   const double p = 0.3;
   double total = 0;
@@ -33,13 +34,13 @@ TEST(RandomGraphsTest, GnpEdgeCountConcentrates) {
 }
 
 TEST(RandomGraphsTest, GnpExtremes) {
-  rng random(2);
+  rng random = testing::seeded_rng();
   EXPECT_EQ(gnp(10, 0.0, random).size(), 0);
   EXPECT_EQ(gnp(10, 1.0, random).size(), 45);
 }
 
 TEST(RandomGraphsTest, GnmExactEdgeCount) {
-  rng random(3);
+  rng random = testing::seeded_rng();
   for (int t = 0; t < 50; ++t) {
     const int m = static_cast<int>(random.below(29));
     EXPECT_EQ(gnm(8, m, random).size(), m);
@@ -48,7 +49,7 @@ TEST(RandomGraphsTest, GnmExactEdgeCount) {
 }
 
 TEST(RandomGraphsTest, RandomTreeIsTree) {
-  rng random(4);
+  rng random = testing::seeded_rng();
   for (int t = 0; t < 100; ++t) {
     const int n = 1 + static_cast<int>(random.below(20));
     const graph g = random_tree(n, random);
@@ -84,7 +85,7 @@ TEST(RandomGraphsTest, PruferRejectsBadInput) {
 TEST(RandomGraphsTest, RandomTreeUniformOverSmallTrees) {
   // On 4 vertices there are 16 labeled trees (Cayley): 4 stars, 12 paths.
   // Star fraction should be ~1/4.
-  rng random(5);
+  rng random = testing::seeded_rng();
   int stars = 0;
   constexpr int trials = 4000;
   for (int t = 0; t < trials; ++t) {
@@ -95,7 +96,7 @@ TEST(RandomGraphsTest, RandomTreeUniformOverSmallTrees) {
 }
 
 TEST(RandomGraphsTest, RandomConnectedGnmProperties) {
-  rng random(6);
+  rng random = testing::seeded_rng();
   for (int t = 0; t < 50; ++t) {
     const int n = 2 + static_cast<int>(random.below(10));
     const int extra = static_cast<int>(random.below(4));
@@ -108,7 +109,7 @@ TEST(RandomGraphsTest, RandomConnectedGnmProperties) {
 }
 
 TEST(RandomGraphsTest, RandomRegularDegrees) {
-  rng random(7);
+  rng random = testing::seeded_rng();
   for (const auto& [n, k] : std::vector<std::pair<int, int>>{
            {8, 3}, {10, 3}, {9, 4}, {12, 5}, {6, 0}}) {
     const graph g = random_regular(n, k, random);
@@ -120,8 +121,8 @@ TEST(RandomGraphsTest, RandomRegularDegrees) {
 }
 
 TEST(RandomGraphsTest, SeededRunsReproduce) {
-  rng a(42);
-  rng b(42);
+  rng a = testing::seeded_rng("RandomGraphsTest.same-stream");
+  rng b = testing::seeded_rng("RandomGraphsTest.same-stream");
   for (int t = 0; t < 10; ++t) {
     EXPECT_EQ(gnp(12, 0.4, a), gnp(12, 0.4, b));
   }

@@ -6,6 +6,7 @@
 #include "equilibria/ucg_nash.hpp"
 #include "gen/named.hpp"
 #include "graph/canonical.hpp"
+#include "testing.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -13,7 +14,7 @@ namespace bnf {
 namespace {
 
 TEST(SamplerTest, BcgSamplerFindsStableNetworks) {
-  rng random(100);
+  rng random = testing::seeded_rng();
   const auto result = sample_bcg_equilibria(7, 2.0, random, {.runs = 40});
   EXPECT_EQ(result.total_runs, 40);
   EXPECT_GT(result.converged_runs, 0);
@@ -26,7 +27,7 @@ TEST(SamplerTest, BcgSamplerFindsStableNetworks) {
 }
 
 TEST(SamplerTest, BcgCheapLinksSampleOnlyComplete) {
-  rng random(101);
+  rng random = testing::seeded_rng();
   const auto result = sample_bcg_equilibria(6, 0.5, random, {.runs = 20});
   ASSERT_EQ(result.equilibria.size(), 1U);
   EXPECT_TRUE(are_isomorphic(result.equilibria[0].g, complete(6)));
@@ -34,7 +35,7 @@ TEST(SamplerTest, BcgCheapLinksSampleOnlyComplete) {
 }
 
 TEST(SamplerTest, UcgSamplerFindsNashNetworks) {
-  rng random(102);
+  rng random = testing::seeded_rng();
   const auto result = sample_ucg_equilibria(6, 2.0, random, {.runs = 25});
   EXPECT_GT(result.converged_runs, 0);
   ASSERT_FALSE(result.equilibria.empty());
@@ -44,7 +45,7 @@ TEST(SamplerTest, UcgSamplerFindsNashNetworks) {
 }
 
 TEST(SamplerTest, EquilibriaDedupedUpToIsomorphism) {
-  rng random(103);
+  rng random = testing::seeded_rng();
   const auto result = sample_bcg_equilibria(6, 3.0, random, {.runs = 60});
   for (std::size_t a = 0; a < result.equilibria.size(); ++a) {
     for (std::size_t b = a + 1; b < result.equilibria.size(); ++b) {
@@ -55,7 +56,7 @@ TEST(SamplerTest, EquilibriaDedupedUpToIsomorphism) {
 }
 
 TEST(SamplerTest, HitCountsSumToRecordedRuns) {
-  rng random(104);
+  rng random = testing::seeded_rng();
   const auto result = sample_bcg_equilibria(6, 2.0, random, {.runs = 30});
   int hits = 0;
   for (const auto& eq : result.equilibria) hits += eq.hits;
@@ -64,7 +65,7 @@ TEST(SamplerTest, HitCountsSumToRecordedRuns) {
 }
 
 TEST(SamplerTest, StatsAggregates) {
-  rng random(105);
+  rng random = testing::seeded_rng();
   const auto result = sample_bcg_equilibria(7, 3.0, random, {.runs = 50});
   ASSERT_FALSE(result.equilibria.empty());
   EXPECT_GE(result.average_poa(), 1.0 - 1e-12);
@@ -80,7 +81,7 @@ TEST(SamplerTest, EmptyResultStatsAreZero) {
 }
 
 TEST(SamplerTest, Preconditions) {
-  rng random(106);
+  rng random = testing::seeded_rng();
   EXPECT_THROW((void)sample_bcg_equilibria(12, 1.0, random), precondition_error);
   EXPECT_THROW((void)sample_ucg_equilibria(6, -1.0, random), precondition_error);
 }

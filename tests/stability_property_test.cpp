@@ -13,28 +13,19 @@
 #include "gen/random.hpp"
 #include "graph/canonical.hpp"
 #include "graph/paths.hpp"
+#include "testing.hpp"
 #include "util/bitops.hpp"
 #include "util/rng.hpp"
 
 namespace bnf {
 namespace {
 
-graph random_connected(rng& random, int lo_n = 4, int hi_n = 10) {
-  const int n = lo_n + static_cast<int>(
-                           random.below(static_cast<std::uint64_t>(
-                               hi_n - lo_n + 1)));
-  const int max_edges = n * (n - 1) / 2;
-  const int m = std::min(
-      max_edges,
-      n - 1 + static_cast<int>(random.below(
-                  static_cast<std::uint64_t>(2 * n))));
-  return random_connected_gnm(n, m, random);
-}
+using testing::random_connected;
 
 TEST(StabilityPropertyTest, AdditionAndDeletionAreInverse) {
   // For any non-edge (u,v): the saving from adding it equals the increase
   // from deleting it in the augmented graph.
-  rng random(501);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 150; ++trial) {
     const graph g = random_connected(random);
     for (const auto& [u, v] : g.non_edges()) {
@@ -47,7 +38,7 @@ TEST(StabilityPropertyTest, AdditionAndDeletionAreInverse) {
 }
 
 TEST(StabilityPropertyTest, DeltasAreNonNegative) {
-  rng random(502);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 100; ++trial) {
     const graph g = random_connected(random);
     for (const auto& [u, v] : g.edges()) {
@@ -60,7 +51,7 @@ TEST(StabilityPropertyTest, DeltasAreNonNegative) {
 }
 
 TEST(StabilityPropertyTest, WindowIsIsomorphismInvariant) {
-  rng random(503);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 80; ++trial) {
     const graph g = random_connected(random, 4, 9);
     std::vector<int> perm(static_cast<std::size_t>(g.order()));
@@ -78,7 +69,7 @@ TEST(StabilityPropertyTest, WindowIsIsomorphismInvariant) {
 
 TEST(StabilityPropertyTest, BundleIncreaseIsMonotone) {
   // Severing more links never decreases the distance-cost increase.
-  rng random(504);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 100; ++trial) {
     const graph g = random_connected(random, 4, 8);
     const int i = static_cast<int>(
@@ -100,7 +91,7 @@ TEST(StabilityPropertyTest, BundleIncreaseIsMonotone) {
 TEST(StabilityPropertyTest, ViolationWitnessIsConsistent) {
   // Whenever find_stability_violation reports a move, applying it must
   // actually improve the named player (Definition 3 semantics).
-  rng random(505);
+  rng random = testing::seeded_rng();
   int witnessed = 0;
   for (int trial = 0; trial < 120; ++trial) {
     const graph g = random_connected(random, 4, 9);

@@ -1,0 +1,92 @@
+// Shared test scaffolding: canonical small fixtures from gen/named and a
+// deterministic per-test RNG so every randomized suite is bit-reproducible
+// without scattering magic seed literals across files.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "gen/named.hpp"
+#include "gen/random.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace bnf::testing {
+
+/// FNV-1a over the tag: stable across platforms and runs, so a test's
+/// random stream depends only on its name, not on suite ordering.
+constexpr std::uint64_t seed_of(std::string_view tag) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char ch : tag) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Deterministic rng keyed by an explicit tag.
+inline rng seeded_rng(std::string_view tag) { return rng(seed_of(tag)); }
+
+/// Deterministic rng keyed by the currently running googletest case
+/// ("Suite.Name"). Each TEST gets its own fixed, independent stream.
+inline rng seeded_rng() {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string tag = "bnf.unseeded";
+  if (info != nullptr) {
+    tag = std::string(info->test_suite_name()) + "." + info->name();
+  }
+  return seeded_rng(tag);
+}
+
+/// Canonical small fixtures. Paths P_2..P_{max_n}.
+inline std::vector<graph> small_paths(int max_n = 7) {
+  std::vector<graph> out;
+  for (int n = 2; n <= max_n; ++n) out.push_back(path(n));
+  return out;
+}
+
+/// Cycles C_3..C_{max_n}.
+inline std::vector<graph> small_cycles(int max_n = 7) {
+  std::vector<graph> out;
+  for (int n = 3; n <= max_n; ++n) out.push_back(cycle(n));
+  return out;
+}
+
+/// Stars K_{1,2}..K_{1,max_n-1}.
+inline std::vector<graph> small_stars(int max_n = 7) {
+  std::vector<graph> out;
+  for (int n = 3; n <= max_n; ++n) out.push_back(star(n));
+  return out;
+}
+
+/// The union gallery: every path, cycle and star fixture in one sweep —
+/// the canonical input set for invariance-style assertions.
+inline std::vector<graph> small_gallery(int max_n = 7) {
+  std::vector<graph> out = small_paths(max_n);
+  for (auto& g : small_cycles(max_n)) out.push_back(std::move(g));
+  for (auto& g : small_stars(max_n)) out.push_back(std::move(g));
+  return out;
+}
+
+/// A random connected graph with uniformly drawn order in [lo_n, hi_n] and
+/// a sparse edge budget — the workhorse input for the property suites.
+inline graph random_connected(rng& random, int lo_n = 4, int hi_n = 10) {
+  const int n =
+      lo_n + static_cast<int>(
+                 random.below(static_cast<std::uint64_t>(hi_n - lo_n + 1)));
+  const int max_edges = n * (n - 1) / 2;
+  const int m = std::min(
+      max_edges,
+      n - 1 + static_cast<int>(
+                  random.below(static_cast<std::uint64_t>(2 * n))));
+  return random_connected_gnm(n, m, random);
+}
+
+}  // namespace bnf::testing

@@ -10,6 +10,7 @@
 #include "gen/named.hpp"
 #include "gen/random.hpp"
 #include "graph/paths.hpp"
+#include "testing.hpp"
 #include "util/bitops.hpp"
 #include "util/rng.hpp"
 
@@ -27,7 +28,7 @@ std::vector<std::uint64_t> paid_masks(const graph& g,
 }
 
 TEST(UcgNashPropertyTest, WitnessOrientationCoversEachEdgeOnce) {
-  rng random(601);
+  rng random = testing::seeded_rng();
   int supportable_seen = 0;
   for (int trial = 0; trial < 60; ++trial) {
     const int n = 5 + static_cast<int>(random.below(4));
@@ -51,7 +52,7 @@ TEST(UcgNashPropertyTest, WitnessOrientationCoversEachEdgeOnce) {
 TEST(UcgNashPropertyTest, WitnessPlayersPassPublicBestResponse) {
   // Every player in a witness orientation must already be playing a best
   // response per the PUBLIC oracle (independent of the search internals).
-  rng random(602);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 40; ++trial) {
     const int n = 5 + static_cast<int>(random.below(3));
     const graph g = random_tree(n, random);
@@ -73,7 +74,7 @@ TEST(UcgNashPropertyTest, WitnessPlayersPassPublicBestResponse) {
 }
 
 TEST(UcgNashPropertyTest, NashIsIsomorphismInvariant) {
-  rng random(603);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 40; ++trial) {
     const int n = 5 + static_cast<int>(random.below(3));
     const int max_edges = n * (n - 1) / 2;
@@ -91,7 +92,7 @@ TEST(UcgNashPropertyTest, NashIsIsomorphismInvariant) {
 }
 
 TEST(UcgNashPropertyTest, BestResponseNeverExceedsStatusQuo) {
-  rng random(604);
+  rng random = testing::seeded_rng();
   for (int trial = 0; trial < 60; ++trial) {
     const int n = 5 + static_cast<int>(random.below(4));
     const graph g = random_connected_gnm(n, n, random);
