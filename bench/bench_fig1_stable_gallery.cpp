@@ -44,7 +44,10 @@ int main(int argc, char** argv) {
                        "Figure 1: properties and stability windows of the "
                        "paper's gallery graphs");
   args.add_flag("csv", "emit CSV instead of a table");
-  args.parse(argc, argv);
+  if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+    std::cout << args.usage();
+    return 0;
+  }
 
   bnf::text_table table({"graph", "n", "m", "k-reg", "girth", "diam", "SRG",
                          "moore", "linkconvex", "stable window", "alpha*",

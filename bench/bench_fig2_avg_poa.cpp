@@ -1,54 +1,7 @@
-// Figure 2 — average price of anarchy of equilibrium networks in the BCG
-// and UCG as a function of link cost.
-//
-// The paper (Section 5) enumerates all connected topologies on ten
-// vertices and, for each link cost, averages the PoA over the pairwise
-// stable set (BCG) and the Nash set (UCG), plotting against log(alpha)
-// resp. log(2 alpha) — i.e. the series are aligned by TOTAL per-edge cost
-// tau. This harness regenerates the series; n defaults to 8 for a
-// seconds-scale run (use --n 10 for the paper's exact setting — minutes).
-#include <iostream>
-
-#include "bnf.hpp"
+// Legacy entry point for the Figure 2 sweep; the experiment now lives in
+// the engine as the "fig2" scenario (`bilatnet run fig2`).
+#include "engine/registry.hpp"
 
 int main(int argc, char** argv) {
-  bnf::arg_parser args("bench_fig2_avg_poa",
-                       "Figure 2: average PoA of equilibrium networks vs "
-                       "link cost (BCG and UCG)");
-  args.add_int("n", 8, "number of players (paper: 10; default 8 for speed)");
-  args.add_double("tau-min", 0.53, "smallest total per-edge cost (non-dyadic default avoids knife-edge integer link costs)");
-  args.add_double("tau-max", 0.0, "largest total per-edge cost (0 = ~2n^2)");
-  args.add_int("per-octave", 2, "grid points per doubling of tau");
-  args.add_flag("skip-ucg", "only compute the BCG series (much faster)");
-  args.add_int("threads", 0, "worker threads (0 = hardware)");
-  args.add_string("csv", "", "also write the series to this CSV file");
-  args.parse(argc, argv);
-
-  const int n = static_cast<int>(args.get_int("n"));
-  const double tau_max = args.get_double("tau-max") > 0
-                             ? args.get_double("tau-max")
-                             : 2.12 * n * n;
-  const auto taus = bnf::log_grid(args.get_double("tau-min"), tau_max,
-                                  static_cast<int>(args.get_int("per-octave")));
-
-  bnf::stopwatch timer;
-  const auto points = bnf::census_sweep(
-      n, taus,
-      {.include_ucg = !args.get_flag("skip-ucg"),
-       .threads = static_cast<int>(args.get_int("threads"))});
-
-  std::cout << "=== Figure 2: average PoA vs link cost (n=" << n << ", "
-            << bnf::known_connected_graph_counts[static_cast<std::size_t>(n)]
-            << " connected topologies) ===\n";
-  const bnf::text_table table = bnf::figure2_table(points);
-  table.print(std::cout);
-  std::cout << "\nseries aligned by total per-edge cost tau (paper x-axis: "
-               "log(alpha_UCG) = log(2 alpha_BCG));\ncensus time: "
-            << bnf::fmt_double(timer.seconds(), 2) << " s\n";
-
-  if (!args.get_string("csv").empty()) {
-    bnf::write_csv_file(table, args.get_string("csv"));
-    std::cout << "CSV written to " << args.get_string("csv") << "\n";
-  }
-  return 0;
+  return bnf::run_scenario_main("fig2", argc, argv);
 }

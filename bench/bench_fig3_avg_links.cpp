@@ -1,49 +1,7 @@
-// Figure 3 — average number of links in equilibrium networks of the BCG
-// and UCG as a function of link cost.
-//
-// Same census pipeline as Figure 2; the aggregate is the mean edge count
-// over the equilibrium set. The paper's observation: stable BCG networks
-// are denser than UCG Nash networks on average, and that over-connection
-// is what drives the BCG's higher PoA at large link costs.
-#include <iostream>
-
-#include "bnf.hpp"
+// Legacy entry point for the Figure 3 sweep; the experiment now lives in
+// the engine as the "fig3" scenario (`bilatnet run fig3`).
+#include "engine/registry.hpp"
 
 int main(int argc, char** argv) {
-  bnf::arg_parser args("bench_fig3_avg_links",
-                       "Figure 3: average link count of equilibrium "
-                       "networks vs link cost (BCG and UCG)");
-  args.add_int("n", 8, "number of players (paper: 10; default 8 for speed)");
-  args.add_double("tau-min", 0.53, "smallest total per-edge cost (non-dyadic default avoids knife-edge integer link costs)");
-  args.add_double("tau-max", 0.0, "largest total per-edge cost (0 = ~2n^2)");
-  args.add_int("per-octave", 2, "grid points per doubling of tau");
-  args.add_flag("skip-ucg", "only compute the BCG series (much faster)");
-  args.add_int("threads", 0, "worker threads (0 = hardware)");
-  args.add_string("csv", "", "also write the series to this CSV file");
-  args.parse(argc, argv);
-
-  const int n = static_cast<int>(args.get_int("n"));
-  const double tau_max = args.get_double("tau-max") > 0
-                             ? args.get_double("tau-max")
-                             : 2.12 * n * n;
-  const auto taus = bnf::log_grid(args.get_double("tau-min"), tau_max,
-                                  static_cast<int>(args.get_int("per-octave")));
-
-  bnf::stopwatch timer;
-  const auto points = bnf::census_sweep(
-      n, taus,
-      {.include_ucg = !args.get_flag("skip-ucg"),
-       .threads = static_cast<int>(args.get_int("threads"))});
-
-  std::cout << "=== Figure 3: average #links vs link cost (n=" << n << ") ===\n";
-  const bnf::text_table table = bnf::figure3_table(points);
-  table.print(std::cout);
-  std::cout << "\ncensus time: " << bnf::fmt_double(timer.seconds(), 2)
-            << " s\n";
-
-  if (!args.get_string("csv").empty()) {
-    bnf::write_csv_file(table, args.get_string("csv"));
-    std::cout << "CSV written to " << args.get_string("csv") << "\n";
-  }
-  return 0;
+  return bnf::run_scenario_main("fig3", argc, argv);
 }

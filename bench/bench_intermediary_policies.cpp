@@ -19,7 +19,10 @@ int main(int argc, char** argv) {
                   "equilibrium quality under intermediary move scheduling");
   args.add_int("n", 9, "number of players");
   args.add_int("seeds", 40, "dynamics runs per (alpha, policy)");
-  args.parse(argc, argv);
+  if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+    std::cout << args.usage();
+    return 0;
+  }
 
   const int n = static_cast<int>(args.get_int("n"));
   const int seeds = static_cast<int>(args.get_int("seeds"));

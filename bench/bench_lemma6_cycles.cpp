@@ -44,7 +44,10 @@ int main(int argc, char** argv) {
                        "paper's closed forms, and PoA(C_n) = O(1)");
   args.add_int("n-min", 4, "smallest cycle");
   args.add_int("n-max", 28, "largest cycle");
-  args.parse(argc, argv);
+  if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+    std::cout << args.usage();
+    return 0;
+  }
 
   bnf::text_table table({"n", "measured window", "paper window", "match",
                          "linkconvex", "alpha*", "PoA(C_n)", "PoA trend"});

@@ -4,6 +4,9 @@
 // throughput envelope for the census sweeps (Figures 2/3).
 #include <benchmark/benchmark.h>
 
+#include <thread>
+#include <vector>
+
 #include "bnf.hpp"
 
 namespace {
@@ -102,6 +105,38 @@ void BM_PairwiseDynamicsRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PairwiseDynamicsRun)->Unit(benchmark::kMicrosecond);
+
+// Per-call dispatch overhead of a parallel section with empty chunk
+// bodies. The persistent-pool path pays one queue push per chunk; the
+// spawn path (the pre-engine implementation) pays a thread create + join
+// per chunk, which dominated short sweeps.
+void BM_ParallelDispatchPersistent(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  bnf::parallel_for_chunks(static_cast<std::size_t>(workers), workers,
+                           [](std::size_t, std::size_t) {});  // warm the pool
+  for (auto _ : state) {
+    bnf::parallel_for_chunks(static_cast<std::size_t>(workers), workers,
+                             [](std::size_t, std::size_t) {});
+  }
+}
+BENCHMARK(BM_ParallelDispatchPersistent)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelDispatchSpawn(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back([] {});
+    for (auto& worker : pool) worker.join();
+  }
+}
+BENCHMARK(BM_ParallelDispatchSpawn)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -1,57 +1,7 @@
-// Price of stability — the paper's Section 1.2 remark, made executable:
-// "Of mention is that the welfare optimal solution is stable for both
-// connection games we consider."
-//
-// If the efficient graph is always an equilibrium, the BEST equilibrium's
-// PoA (the price of stability) is exactly 1 at every link cost. This
-// harness verifies that over the exhaustive census and prints both ends
-// of the equilibrium-quality spectrum (PoS vs PoA) per game.
-//
-// Note the one caveat the exhaustive run exposes: at knife-edge link
-// costs equal to a game's efficiency crossover, the optimum switches
-// shape and tie-breaking matters; the generic grid avoids those points.
-#include <iostream>
-
-#include "bnf.hpp"
+// Legacy entry point for the PoS/PoA comparison; the experiment now lives
+// in the engine as "price-of-stability" (`bilatnet run price-of-stability`).
+#include "engine/registry.hpp"
 
 int main(int argc, char** argv) {
-  bnf::arg_parser args("bench_price_of_stability",
-                       "PoS vs PoA of both connection games over the census");
-  args.add_int("n", 7, "number of players");
-  args.add_int("threads", 0, "worker threads (0 = hardware)");
-  args.parse(argc, argv);
-
-  const int n = static_cast<int>(args.get_int("n"));
-  const auto taus = bnf::default_tau_grid(n);
-
-  bnf::stopwatch timer;
-  const auto points = bnf::census_sweep(
-      n, taus,
-      {.include_ucg = true,
-       .threads = static_cast<int>(args.get_int("threads"))});
-
-  std::cout << "=== Price of stability vs price of anarchy (n=" << n
-            << ") ===\n";
-  bnf::price_of_stability_table(points).print(std::cout);
-
-  int bcg_pos_one = 0;
-  int bcg_points = 0;
-  int ucg_pos_one = 0;
-  int ucg_points = 0;
-  for (const auto& point : points) {
-    if (point.bcg.count > 0) {
-      ++bcg_points;
-      if (point.bcg.min_poa <= 1.0 + 1e-9) ++bcg_pos_one;
-    }
-    if (point.ucg.count > 0) {
-      ++ucg_points;
-      if (point.ucg.min_poa <= 1.0 + 1e-9) ++ucg_pos_one;
-    }
-  }
-  std::cout << "\nPoS = 1 at " << bcg_pos_one << "/" << bcg_points
-            << " BCG grid points and " << ucg_pos_one << "/" << ucg_points
-            << " UCG grid points — the paper's claim that the welfare "
-               "optimum is stable in both games.\ncensus time: "
-            << bnf::fmt_double(timer.seconds(), 2) << " s\n";
-  return 0;
+  return bnf::run_scenario_main("price-of-stability", argc, argv);
 }

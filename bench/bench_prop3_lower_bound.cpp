@@ -16,7 +16,10 @@ int main(int argc, char** argv) {
                        "Prop 3: PoA of Moore-bound-family graphs vs "
                        "log2(alpha)");
   args.add_flag("csv", "emit CSV instead of a table");
-  args.parse(argc, argv);
+  if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+    std::cout << args.usage();
+    return 0;
+  }
 
   struct family_row {
     std::string name;

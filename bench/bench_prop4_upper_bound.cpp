@@ -19,7 +19,10 @@ int main(int argc, char** argv) {
   args.add_double("tau-max", 0.0, "largest total per-edge cost (0 = ~2n^2)");
   args.add_int("per-octave", 2, "grid points per doubling of tau");
   args.add_int("threads", 0, "worker threads (0 = hardware)");
-  args.parse(argc, argv);
+  if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+    std::cout << args.usage();
+    return 0;
+  }
 
   const int n = static_cast<int>(args.get_int("n"));
   const double tau_max = args.get_double("tau-max") > 0

@@ -19,7 +19,10 @@ int main(int argc, char** argv) {
                        "stable in the BCG at the same alpha?");
   args.add_int("n-trees", 8, "tree order for the Prop 5 sweep (<= 10)");
   args.add_int("n-general", 6, "graph order for the conjecture scan (<= 7)");
-  args.parse(argc, argv);
+  if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+    std::cout << args.usage();
+    return 0;
+  }
 
   const double alphas[] = {0.7, 1.3, 1.7, 2.3, 2.6, 3.4,
                            4.6, 5.3, 6.7, 8.9, 12.3, 20.1};

@@ -1,63 +1,7 @@
-// Methodology validation — dynamics sampling vs. exhaustive census.
-//
-// The paper's Section 5 enumerates every topology, which stops scaling at
-// n ~ 10. The natural scalable proxy is to SAMPLE equilibria by running
-// myopic dynamics from random starts. This harness quantifies the proxy's
-// fidelity at a size where both are exact: per link cost it compares the
-// sampled equilibrium set (count, avg PoA, avg links) against the
-// exhaustive census at the same n, and reports the coverage ratio.
-// Sampling is biased toward large-basin equilibria — exactly the bias a
-// "natural play" interpretation wants.
-#include <iostream>
-
-#include "bnf.hpp"
+// Legacy entry point for the sampler-fidelity harness; the experiment now
+// lives in the engine as "sampler-validation".
+#include "engine/registry.hpp"
 
 int main(int argc, char** argv) {
-  using namespace bnf;
-  arg_parser args("bench_sampler_validation",
-                  "dynamics-sampled equilibria vs the exhaustive census");
-  args.add_int("n", 7, "number of players");
-  args.add_int("runs", 300, "dynamics runs per link cost");
-  args.add_int("seed", 9, "sampler seed");
-  args.parse(argc, argv);
-
-  const int n = static_cast<int>(args.get_int("n"));
-  const int runs = static_cast<int>(args.get_int("runs"));
-
-  const double taus[] = {2.12, 2.998, 4.24, 8.48, 16.96, 33.92};
-  const auto points = census_sweep(n, taus, {.include_ucg = false});
-
-  text_table table({"alpha_BCG", "census#", "sampled#", "coverage",
-                    "censusAvgPoA", "sampledAvgPoA", "censusAvgLinks",
-                    "sampledAvgLinks"});
-
-  rng random(static_cast<std::uint64_t>(args.get_int("seed")));
-  for (std::size_t t = 0; t < std::size(taus); ++t) {
-    const double alpha = taus[t] / 2.0;
-    const auto sample =
-        sample_bcg_equilibria(n, alpha, random, {.runs = runs});
-    const auto& census = points[t].bcg;
-    const double coverage =
-        census.count > 0 ? static_cast<double>(sample.equilibria.size()) /
-                               static_cast<double>(census.count)
-                         : 0.0;
-    table.add_row({fmt_double(alpha, 3), std::to_string(census.count),
-                   std::to_string(sample.equilibria.size()),
-                   fmt_double(100.0 * coverage, 1) + "%",
-                   fmt_double(census.avg_poa, 4),
-                   fmt_double(sample.average_poa(), 4),
-                   fmt_double(census.avg_edges, 2),
-                   fmt_double(sample.average_edges(), 2)});
-  }
-
-  std::cout << "=== Sampler validation: dynamics-reachable equilibria vs "
-               "exhaustive census (n="
-            << n << ", " << runs << " runs/alpha) ===\n";
-  table.print(std::cout);
-  std::cout << "\ncoverage = fraction of census equilibrium classes reached "
-               "by myopic dynamics from\nrandom starts. Sampled averages "
-               "weight equilibria by reachability, the exhaustive census\n"
-               "weights them uniformly — both are reported by Figures 2/3 "
-               "conventions.\n";
-  return 0;
+  return bnf::run_scenario_main("sampler-validation", argc, argv);
 }

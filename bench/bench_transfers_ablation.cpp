@@ -18,7 +18,10 @@ int main(int argc, char** argv) {
   arg_parser args("bench_transfers_ablation",
                   "PoA of pairwise-stable vs transfer-stable networks");
   args.add_int("n", 7, "number of players (<= 8 for this exhaustive sweep)");
-  args.parse(argc, argv);
+  if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+    std::cout << args.usage();
+    return 0;
+  }
 
   const int n = static_cast<int>(args.get_int("n"));
   expects(n >= 3 && n <= 8, "bench_transfers_ablation: requires 3 <= n <= 8");

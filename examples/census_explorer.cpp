@@ -18,7 +18,10 @@ int main(int argc, char** argv) {
                   "equilibrium landscape over all connected topologies");
   args.add_int("n", 7, "number of players (<= 8 for this explorer)");
   args.add_double("tau", 8.0, "total per-edge cost");
-  args.parse(argc, argv);
+  if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+    std::cout << args.usage();
+    return 0;
+  }
 
   const int n = static_cast<int>(args.get_int("n"));
   const double tau = args.get_double("tau");

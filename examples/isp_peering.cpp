@@ -21,7 +21,10 @@ int main(int argc, char** argv) {
   args.add_double("alpha", 3.0, "per-endpoint cost of a peering link");
   args.add_int("ases", 11, "number of autonomous systems (<= 11)");
   args.add_int("seed", 42, "negotiation order seed");
-  args.parse(argc, argv);
+  if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+    std::cout << args.usage();
+    return 0;
+  }
 
   const int n = static_cast<int>(args.get_int("ases"));
   const double alpha = args.get_double("alpha");

@@ -20,7 +20,10 @@ int main(int argc, char** argv) {
   args.add_double("tau", 6.0, "total per-edge cost (alpha_UCG = tau, "
                               "alpha_BCG = tau/2)");
   args.add_int("seed", 1, "dynamics seed");
-  args.parse(argc, argv);
+  if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+    std::cout << args.usage();
+    return 0;
+  }
 
   const int n = static_cast<int>(args.get_int("peers"));
   const double tau = args.get_double("tau");

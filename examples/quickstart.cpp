@@ -1,66 +1,10 @@
-// Quickstart: the bilateral connection game in ten minutes.
-//
-// Builds a few networks on 8 players, asks the library the paper's core
-// questions — is this pairwise stable? for which link costs? how far from
-// the social optimum? — and runs the myopic link dynamics to find a
-// stable network from scratch.
+// Quickstart: the bilateral connection game in ten minutes. The worked
+// example now lives in the engine as the "quickstart" scenario, so this
+// binary and `bilatnet run quickstart` are the same program.
 //
 //   $ ./quickstart
-#include <iostream>
+#include "engine/registry.hpp"
 
-#include "bnf.hpp"
-
-int main() {
-  using namespace bnf;
-  const int n = 8;
-
-  std::cout << "== bilatnet quickstart: " << n << " players ==\n\n";
-
-  // 1. Three candidate networks.
-  const graph hub = star(n);
-  const graph ring = cycle(n);
-  const graph clique = complete(n);
-
-  // 2. For which link costs is each pairwise stable (Lemma 2 windows)?
-  for (const auto& [name, g] : {std::pair<const char*, graph>{"star", hub},
-                                {"cycle", ring},
-                                {"complete", clique}}) {
-    const stability_interval window = compute_stability_interval(g);
-    std::cout << name << ": stable for alpha in (" << fmt_alpha(window.alpha_min)
-              << ", " << fmt_alpha(window.alpha_max) << "]\n";
-  }
-
-  // 3. Fix a link cost and compare social costs and the price of anarchy.
-  const double alpha = 2.0;
-  const connection_game game{n, alpha, link_rule::bilateral};
-  std::cout << "\nAt alpha = " << alpha << " (total per-edge cost "
-            << game.edge_social_cost() << "):\n";
-  std::cout << "  social optimum  = " << optimal_social_cost(game)
-            << "  (the " << (alpha < 1 ? "complete graph" : "star") << ")\n";
-  for (const auto& [name, g] : {std::pair<const char*, graph>{"star", hub},
-                                {"cycle", ring},
-                                {"complete", clique}}) {
-    std::cout << "  " << name << ": C(G) = " << social_cost(g, game).finite
-              << ", PoA = " << fmt_double(price_of_anarchy(g, game), 3)
-              << (is_pairwise_stable(g, alpha) ? "  [stable]" : "  [unstable]")
-              << "\n";
-  }
-
-  // 4. Why is the complete graph unstable here? Ask for a witness.
-  if (const auto violation = find_stability_violation(clique, alpha)) {
-    std::cout << "\ncomplete graph at alpha=2: " << violation->describe()
-              << "\n";
-  }
-
-  // 5. Let selfish players build a network from nothing.
-  rng random(7);
-  const auto outcome = run_pairwise_dynamics(graph(n), alpha, random);
-  std::cout << "\nmyopic link dynamics from the empty network ("
-            << outcome.steps << " moves): " << to_string(outcome.final)
-            << "\n  converged = " << (outcome.converged ? "yes" : "no")
-            << ", pairwise stable = "
-            << (is_pairwise_stable(outcome.final, alpha) ? "yes" : "no")
-            << ", PoA = "
-            << fmt_double(price_of_anarchy(outcome.final, game), 3) << "\n";
-  return 0;
+int main(int argc, char** argv) {
+  return bnf::run_scenario_main("quickstart", argc, argv);
 }

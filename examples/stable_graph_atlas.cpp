@@ -67,7 +67,10 @@ int main(int argc, char** argv) {
   bnf::arg_parser args("stable_graph_atlas",
                        "atlas of the paper's Figure 1 gallery");
   args.add_string("graph", "", "print only this named graph");
-  args.parse(argc, argv);
+  if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+    std::cout << args.usage();
+    return 0;
+  }
 
   const std::string filter = args.get_string("graph");
   std::cout << "== atlas of the paper's stable-graph gallery ==\n\n";

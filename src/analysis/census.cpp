@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <mutex>
 
 #include "equilibria/ucg_nash.hpp"
 #include "game/connection_game.hpp"
@@ -128,46 +127,61 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
         connection_game{n, taus[t], link_rule::unilateral});
   }
 
-  std::vector<accumulator_cell> bcg_total(grid);
-  std::vector<accumulator_cell> ucg_total(grid);
-  std::mutex merge_mutex;
+  // Sharding is FIXED (independent of the thread count) and shards are
+  // merged sequentially in shard order, so the floating-point sums — and
+  // hence every downstream table and JSONL byte — are identical whether
+  // the sweep runs on 1 thread or 64.
+  const std::size_t shard_count = std::min<std::size_t>(keys.size(), 128);
+  std::vector<std::vector<accumulator_cell>> bcg_shard(
+      shard_count, std::vector<accumulator_cell>(grid));
+  std::vector<std::vector<accumulator_cell>> ucg_shard(
+      shard_count, std::vector<accumulator_cell>(grid));
 
   const int threads =
       options.threads > 0 ? options.threads : default_thread_count();
-  parallel_for_chunks(keys.size(), threads, [&](std::size_t begin,
-                                                std::size_t end) {
-    std::vector<accumulator_cell> bcg_local(grid);
-    std::vector<accumulator_cell> ucg_local(grid);
-    for (std::size_t index = begin; index < end; ++index) {
-      const graph g = graph::from_key64(n, keys[index]);
-      const graph_profile profile = profile_graph(g);
+  parallel_for_chunks(shard_count, threads, [&](std::size_t shard_begin,
+                                                std::size_t shard_end) {
+    for (std::size_t shard = shard_begin; shard < shard_end; ++shard) {
+      const std::size_t lo = shard * keys.size() / shard_count;
+      const std::size_t hi = (shard + 1) * keys.size() / shard_count;
+      auto& bcg_local = bcg_shard[shard];
+      auto& ucg_local = ucg_shard[shard];
+      for (std::size_t index = lo; index < hi; ++index) {
+        const graph g = graph::from_key64(n, keys[index]);
+        const graph_profile profile = profile_graph(g);
 
-      for (std::size_t t = 0; t < grid; ++t) {
-        const double alpha_bcg = taus[t] / 2.0;
-        if (profile.bcg.stable_at(alpha_bcg)) {
-          const double social = 2.0 * alpha_bcg * profile.edges +
-                                static_cast<double>(profile.distance_total);
-          bcg_local[t].add(social / opt_bcg[t], profile.edges);
-        }
-        if (options.include_ucg) {
-          const double alpha_ucg = taus[t];
-          const bool passes_filters =
-              profile.ucg_min_alpha <= alpha_ucg + ucg_filter_eps &&
-              alpha_ucg <= profile.ucg_max_alpha + ucg_filter_eps;
-          if (passes_filters && is_ucg_nash(g, alpha_ucg)) {
-            const double social = alpha_ucg * profile.edges +
+        for (std::size_t t = 0; t < grid; ++t) {
+          const double alpha_bcg = taus[t] / 2.0;
+          if (profile.bcg.stable_at(alpha_bcg)) {
+            const double social = 2.0 * alpha_bcg * profile.edges +
                                   static_cast<double>(profile.distance_total);
-            ucg_local[t].add(social / opt_ucg[t], profile.edges);
+            bcg_local[t].add(social / opt_bcg[t], profile.edges);
+          }
+          if (options.include_ucg) {
+            const double alpha_ucg = taus[t];
+            const bool passes_filters =
+                profile.ucg_min_alpha <= alpha_ucg + ucg_filter_eps &&
+                alpha_ucg <= profile.ucg_max_alpha + ucg_filter_eps;
+            if (passes_filters && is_ucg_nash(g, alpha_ucg)) {
+              const double social =
+                  alpha_ucg * profile.edges +
+                  static_cast<double>(profile.distance_total);
+              ucg_local[t].add(social / opt_ucg[t], profile.edges);
+            }
           }
         }
       }
     }
-    const std::lock_guard<std::mutex> lock(merge_mutex);
-    for (std::size_t t = 0; t < grid; ++t) {
-      bcg_total[t].merge(bcg_local[t]);
-      ucg_total[t].merge(ucg_local[t]);
-    }
   });
+
+  std::vector<accumulator_cell> bcg_total(grid);
+  std::vector<accumulator_cell> ucg_total(grid);
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    for (std::size_t t = 0; t < grid; ++t) {
+      bcg_total[t].merge(bcg_shard[shard][t]);
+      ucg_total[t].merge(ucg_shard[shard][t]);
+    }
+  }
 
   std::vector<census_point> points(grid);
   for (std::size_t t = 0; t < grid; ++t) {

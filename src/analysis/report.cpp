@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "util/contracts.hpp"
+#include "util/file_io.hpp"
 
 namespace bnf {
 
@@ -81,10 +82,9 @@ text_table price_of_stability_table(std::span<const census_point> points) {
 }
 
 void write_csv_file(const text_table& table, const std::string& path) {
-  std::ofstream out(path);
-  expects(out.good(), "write_csv_file: cannot open " + path);
+  std::ofstream out = open_for_write(path, "write_csv_file");
   table.to_csv(out);
-  expects(out.good(), "write_csv_file: write failed for " + path);
+  flush_or_throw(out, path, "write_csv_file");
 }
 
 }  // namespace bnf

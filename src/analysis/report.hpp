@@ -30,7 +30,8 @@ namespace bnf {
 [[nodiscard]] text_table price_of_stability_table(
     std::span<const census_point> points);
 
-/// Write any table as CSV to `path` (truncates). Throws on I/O failure.
+/// Write any table as CSV to `path` (truncates). Throws precondition_error
+/// on I/O failure with the OS errno text in the message.
 void write_csv_file(const text_table& table, const std::string& path);
 
 }  // namespace bnf

@@ -1,0 +1,94 @@
+// bilatnet — unified experiment CLI.
+//
+//   bilatnet list                  show registered scenarios
+//   bilatnet describe <scenario>   flags and defaults of one scenario
+//   bilatnet run <scenario> [...]  execute a scenario
+//
+// Every scenario accepts the engine flags --threads/--seed/--jsonl/--csv
+// on top of its own; `run <scenario> --help` prints them all.
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/builtin.hpp"
+#include "engine/registry.hpp"
+#include "engine/version.hpp"
+
+namespace {
+
+void print_usage(std::ostream& out) {
+  out << "bilatnet — bilateral network formation experiments ("
+      << bnf::git_describe() << ")\n\n"
+      << "Subcommands:\n"
+      << "  list                  show registered scenarios\n"
+      << "  describe <scenario>   flags and defaults of one scenario\n"
+      << "  run <scenario> [...]  execute a scenario (--help for its flags)\n";
+}
+
+int run_list(std::ostream& out) {
+  std::size_t width = 0;
+  const auto scenarios = bnf::scenario_registry::global().list();
+  for (const auto* entry : scenarios) {
+    width = std::max(width, entry->name().size());
+  }
+  for (const auto* entry : scenarios) {
+    out << "  " << std::left << std::setw(static_cast<int>(width + 2))
+        << entry->name() << entry->description() << "\n";
+  }
+  return 0;
+}
+
+int run_describe(const std::string& name, std::ostream& out) {
+  const bnf::scenario* entry = bnf::scenario_registry::global().find(name);
+  if (entry == nullptr) {
+    std::cerr << "bilatnet: unknown scenario '" << name
+              << "' — try `bilatnet list`\n";
+    return 2;
+  }
+  out << bnf::scenario_usage(*entry);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bnf::register_builtin_scenarios();
+
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (command == "list") {
+    return run_list(std::cout);
+  }
+  if (command == "describe") {
+    if (argc < 3) {
+      std::cerr << "bilatnet: describe needs a scenario name\n";
+      return 2;
+    }
+    return run_describe(argv[2], std::cout);
+  }
+  if (command == "run") {
+    if (argc < 3) {
+      std::cerr << "bilatnet: run needs a scenario name\n";
+      return 2;
+    }
+    // Re-pack argv so the scenario parser sees its flags at argv[1...].
+    std::vector<const char*> scenario_argv;
+    scenario_argv.push_back(argv[0]);
+    for (int i = 3; i < argc; ++i) scenario_argv.push_back(argv[i]);
+    return bnf::run_scenario_main(argv[2],
+                                  static_cast<int>(scenario_argv.size()),
+                                  scenario_argv.data());
+  }
+  std::cerr << "bilatnet: unknown subcommand '" << command << "'\n\n";
+  print_usage(std::cerr);
+  return 2;
+}

@@ -1,0 +1,130 @@
+#include "engine/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/sink.hpp"
+#include "engine/version.hpp"
+#include "util/contracts.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bnf {
+
+namespace {
+
+// Flags the engine owns; every scenario gets them, and they are excluded
+// from the deterministic run metadata (they select execution resources and
+// exports, not experiment content).
+constexpr const char* engine_flag_names[] = {"threads", "jsonl", "csv",
+                                             "timing"};
+
+void add_engine_flags(arg_parser& args) {
+  args.add_int("threads", 0, "worker threads (0 = hardware)");
+  args.add_int("seed", 9, "master seed; shard streams derive from it");
+  args.add_string("jsonl", "", "write rows + run metadata to this JSONL file");
+  args.add_string("csv", "", "also write the result tables to this CSV file");
+  args.add_flag("timing", "append a wall-time footer record to the JSONL "
+                          "output (breaks byte-reproducibility)");
+}
+
+bool is_engine_flag(const std::string& name) {
+  for (const char* reserved : engine_flag_names) {
+    if (name == reserved) return true;
+  }
+  return name == "seed";
+}
+
+arg_parser build_parser(const scenario& entry) {
+  arg_parser args("bilatnet run " + entry.name(), entry.description());
+  entry.configure(args);
+  add_engine_flags(args);
+  return args;
+}
+
+}  // namespace
+
+void scenario_registry::add(std::unique_ptr<scenario> entry) {
+  expects(entry != nullptr, "scenario_registry: null scenario");
+  const std::string name = entry->name();
+  expects(!name.empty(), "scenario_registry: scenario with empty name");
+  expects(!entries_.count(name),
+          "scenario_registry: duplicate scenario " + name);
+  entries_[name] = std::move(entry);
+}
+
+const scenario* scenario_registry::find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const scenario*> scenario_registry::list() const {
+  std::vector<const scenario*> result;
+  result.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) result.push_back(entry.get());
+  return result;  // std::map iteration is already name-sorted
+}
+
+scenario_registry& scenario_registry::global() {
+  static scenario_registry registry;
+  return registry;
+}
+
+std::string scenario_usage(const scenario& entry) {
+  return build_parser(entry).usage();
+}
+
+int run_scenario_main(const scenario& entry, int argc,
+                      const char* const* argv, std::ostream& out) {
+  try {
+    arg_parser args = build_parser(entry);
+    if (args.parse(argc, argv) == parse_status::help_requested) {
+      out << args.usage();
+      return 0;
+    }
+
+    const int requested = static_cast<int>(args.get_int("threads"));
+    run_metadata meta;
+    meta.scenario = entry.name();
+    meta.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    meta.git_describe = git_describe();
+    for (const auto& [name, value] : args.items()) {
+      if (!is_engine_flag(name)) meta.params.emplace_back(name, value);
+    }
+
+    sink_list sinks;
+    if (!args.get_string("jsonl").empty()) {
+      sinks.add(std::make_unique<jsonl_sink>(args.get_string("jsonl"),
+                                             args.get_flag("timing")));
+    }
+    if (!args.get_string("csv").empty()) {
+      sinks.add(std::make_unique<csv_sink>(args.get_string("csv")));
+    }
+    sinks.begin_run(meta);
+
+    run_context ctx{args,
+                    requested > 0 ? requested : default_thread_count(),
+                    meta.seed, out, sinks};
+    stopwatch timer;
+    const int code = entry.run(ctx);
+    sinks.end_run(timer.seconds());
+    return code;
+  } catch (const std::exception& error) {
+    std::cerr << "bilatnet: " << entry.name() << ": " << error.what() << "\n";
+    return 1;
+  }
+}
+
+int run_scenario_main(const std::string& name, int argc,
+                      const char* const* argv, std::ostream& out) {
+  register_builtin_scenarios();
+  const scenario* entry = scenario_registry::global().find(name);
+  if (entry == nullptr) {
+    std::cerr << "bilatnet: unknown scenario '" << name
+              << "' — try `bilatnet list`\n";
+    return 2;
+  }
+  return run_scenario_main(*entry, argc, argv, out);
+}
+
+}  // namespace bnf

@@ -1,0 +1,29 @@
+#include "engine/runner.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace bnf {
+
+std::uint64_t shard_seed(std::uint64_t master_seed,
+                         std::uint64_t shard_index) {
+  // splitmix64 finalizer over the combined state; the odd multiplier on the
+  // index keeps (seed, 1) and (seed + 1, 0) from colliding.
+  std::uint64_t z = master_seed + 0x9E3779B97F4A7C15ULL * (shard_index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void for_each_shard(std::size_t shards, int threads,
+                    std::uint64_t master_seed,
+                    const std::function<void(std::size_t, rng&)>& fn) {
+  parallel_for_chunks(shards, threads,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t index = begin; index < end; ++index) {
+                          rng shard_rng(shard_seed(master_seed, index));
+                          fn(index, shard_rng);
+                        }
+                      });
+}
+
+}  // namespace bnf

@@ -1,0 +1,32 @@
+// Deterministic sharded execution for scenarios. Work items are indexed
+// shards; each shard draws from its own RNG stream derived from
+// (master_seed, shard_index), and items write only their own slots — so
+// results are bit-identical no matter how many threads execute them, and a
+// sweep can be resumed or distributed shard-by-shard later.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.hpp"
+
+namespace bnf {
+
+/// Derive the seed of shard `shard_index` from the run's master seed via a
+/// splitmix64-style finalizer. Distinct shards get decorrelated streams;
+/// the mapping is a pure function, stable across platforms and releases of
+/// the same binary.
+[[nodiscard]] std::uint64_t shard_seed(std::uint64_t master_seed,
+                                       std::uint64_t shard_index);
+
+/// Run fn(shard_index, shard_rng) for every shard in [0, shards) on
+/// `threads` workers (<= 1 runs inline) and block until all complete. Each
+/// invocation receives a fresh rng seeded with shard_seed(master_seed,
+/// shard_index), so the schedule cannot leak into the results: outputs are
+/// identical for any thread count.
+void for_each_shard(std::size_t shards, int threads,
+                    std::uint64_t master_seed,
+                    const std::function<void(std::size_t, rng&)>& fn);
+
+}  // namespace bnf

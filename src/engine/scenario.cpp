@@ -1,0 +1,14 @@
+#include "engine/scenario.hpp"
+
+#include "engine/sink.hpp"
+
+namespace bnf {
+
+scenario::~scenario() = default;
+
+void run_context::emit(const std::string& table_name,
+                       const text_table& table) const {
+  sinks.write_table(table_name, table);
+}
+
+}  // namespace bnf

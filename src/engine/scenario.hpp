@@ -1,0 +1,53 @@
+// Scenario abstraction of the experiment engine: every workload (figure
+// sweep, validation harness, worked example) declares its name, its flags,
+// and a run() body, and the engine supplies parsing, threading, seeding and
+// result sinks. New experiments become registry entries instead of new
+// main()s.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/arg_parse.hpp"
+
+namespace bnf {
+
+class sink_list;
+class text_table;
+
+/// Everything a scenario needs at run time. The engine resolves the common
+/// flags (--threads, --seed, --jsonl, --csv) before calling scenario::run.
+struct run_context {
+  const arg_parser& args;  // parsed flags (scenario's plus the engine's)
+  int threads;             // resolved worker count, >= 1
+  std::uint64_t seed;      // master seed; derive shard streams via shard_seed
+  std::ostream& out;       // narrative output (tables, progress)
+  sink_list& sinks;        // machine-readable exports (JSONL / CSV)
+
+  /// Forward a named result table to every attached sink.
+  void emit(const std::string& table_name, const text_table& table) const;
+};
+
+/// One registered experiment. Implementations are stateless: configuration
+/// arrives through the arg_parser, per-run state lives in run().
+class scenario {
+ public:
+  virtual ~scenario();
+
+  /// Registry key, e.g. "fig2". Lowercase, no spaces.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-line description shown by `bilatnet list`.
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// Declare scenario-specific flags. The engine adds the common flags
+  /// (--threads, --seed, --jsonl, --csv, --timing) afterwards, so those
+  /// names are reserved.
+  virtual void configure(arg_parser& args) const = 0;
+
+  /// Execute; return a process exit code (0 = success).
+  virtual int run(run_context& ctx) const = 0;
+};
+
+}  // namespace bnf

@@ -1,0 +1,108 @@
+#include "engine/sink.hpp"
+
+#include <cstdio>
+
+#include "util/file_io.hpp"
+
+namespace bnf {
+
+result_sink::~result_sink() = default;
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+jsonl_sink::jsonl_sink(const std::string& path, bool include_timing)
+    : path_(path),
+      out_(open_for_write(path, "jsonl_sink")),
+      include_timing_(include_timing) {}
+
+void jsonl_sink::begin_run(const run_metadata& meta) {
+  out_ << "{\"type\":\"meta\",\"scenario\":\"" << json_escape(meta.scenario)
+       << "\",\"seed\":" << meta.seed << ",\"git\":\""
+       << json_escape(meta.git_describe) << "\",\"params\":{";
+  bool first = true;
+  for (const auto& [name, value] : meta.params) {
+    if (!first) out_ << ",";
+    first = false;
+    out_ << "\"" << json_escape(name) << "\":\"" << json_escape(value) << "\"";
+  }
+  out_ << "}}\n";
+}
+
+void jsonl_sink::write_table(const std::string& name,
+                             const text_table& table) {
+  const auto& headers = table.headers();
+  for (const auto& row : table.rows()) {
+    out_ << "{\"type\":\"row\",\"table\":\"" << json_escape(name)
+         << "\",\"values\":{";
+    for (std::size_t c = 0; c < headers.size() && c < row.size(); ++c) {
+      if (c > 0) out_ << ",";
+      out_ << "\"" << json_escape(headers[c]) << "\":\""
+           << json_escape(row[c]) << "\"";
+    }
+    out_ << "}}\n";
+    ++rows_written_;
+  }
+}
+
+void jsonl_sink::end_run(double wall_seconds) {
+  if (include_timing_) {
+    out_ << "{\"type\":\"footer\",\"rows\":" << rows_written_
+         << ",\"wall_s\":" << wall_seconds << "}\n";
+  }
+  flush_or_throw(out_, path_, "jsonl_sink");
+}
+
+csv_sink::csv_sink(const std::string& path)
+    : path_(path), out_(open_for_write(path, "csv_sink")) {}
+
+void csv_sink::begin_run(const run_metadata&) {}
+
+void csv_sink::write_table(const std::string& name, const text_table& table) {
+  if (tables_written_ > 0) out_ << "\n# table " << name << "\n";
+  table.to_csv(out_);
+  ++tables_written_;
+}
+
+void csv_sink::end_run(double) {
+  flush_or_throw(out_, path_, "csv_sink");
+}
+
+void sink_list::add(std::unique_ptr<result_sink> sink) {
+  sinks_.push_back(std::move(sink));
+}
+
+void sink_list::begin_run(const run_metadata& meta) {
+  for (const auto& sink : sinks_) sink->begin_run(meta);
+}
+
+void sink_list::write_table(const std::string& name, const text_table& table) {
+  for (const auto& sink : sinks_) sink->write_table(name, table);
+}
+
+void sink_list::end_run(double wall_seconds) {
+  for (const auto& sink : sinks_) sink->end_run(wall_seconds);
+}
+
+}  // namespace bnf

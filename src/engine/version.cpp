@@ -1,0 +1,14 @@
+#include "engine/version.hpp"
+
+#ifndef BILATNET_GIT_DESCRIBE
+#define BILATNET_GIT_DESCRIBE "unknown"
+#endif
+
+namespace bnf {
+
+const std::string& git_describe() {
+  static const std::string description = BILATNET_GIT_DESCRIBE;
+  return description;
+}
+
+}  // namespace bnf

@@ -1,0 +1,12 @@
+// Build identification for run metadata.
+#pragma once
+
+#include <string>
+
+namespace bnf {
+
+/// `git describe --always --dirty` of the checkout this binary was built
+/// from, or "unknown" when git was unavailable at configure time.
+[[nodiscard]] const std::string& git_describe();
+
+}  // namespace bnf

@@ -1,8 +1,7 @@
 #include "util/arg_parse.hpp"
 
-#include <cstdlib>
-#include <iostream>
 #include <sstream>
+#include <utility>
 
 #include "util/contracts.hpp"
 
@@ -40,12 +39,11 @@ void arg_parser::add_flag(const std::string& name, const std::string& help) {
   order_.push_back(name);
 }
 
-void arg_parser::parse(int argc, const char* const* argv) {
+parse_status arg_parser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
     if (token == "--help" || token == "-h") {
-      std::cout << usage();
-      std::exit(0);
+      return parse_status::help_requested;
     }
     expects(token.rfind("--", 0) == 0,
             "arg_parser: expected --flag, got '" + token + "'");
@@ -63,6 +61,8 @@ void arg_parser::parse(int argc, const char* const* argv) {
     const auto it = entries_.find(name);
     expects(it != entries_.end(), "arg_parser: unknown flag --" + name);
     entry& e = it->second;
+    expects(!e.set_by_user,
+            "arg_parser: flag --" + name + " given more than once");
 
     if (e.type == kind::boolean && !have_value) {
       e.value = "true";
@@ -95,6 +95,7 @@ void arg_parser::parse(int argc, const char* const* argv) {
     }
     e.set_by_user = true;
   }
+  return parse_status::ok;
 }
 
 const arg_parser::entry& arg_parser::lookup(const std::string& name,
@@ -126,6 +127,15 @@ bool arg_parser::was_set(const std::string& name) const {
   const auto it = entries_.find(name);
   expects(it != entries_.end(), "arg_parser: flag not registered: " + name);
   return it->second.set_by_user;
+}
+
+std::vector<std::pair<std::string, std::string>> arg_parser::items() const {
+  std::vector<std::pair<std::string, std::string>> result;
+  result.reserve(order_.size());
+  for (const auto& name : order_) {
+    result.emplace_back(name, entries_.at(name).value);
+  }
+  return result;
 }
 
 std::string arg_parser::usage() const {

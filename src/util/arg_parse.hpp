@@ -5,9 +5,15 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bnf {
+
+/// Outcome of arg_parser::parse. `help_requested` means --help/-h was seen;
+/// the caller decides what to do (print usage() and stop, usually), which
+/// keeps parsing testable — no std::exit inside the library.
+enum class parse_status { ok, help_requested };
 
 /// Declarative flag registry + parser.
 ///
@@ -16,7 +22,10 @@ namespace bnf {
 ///   args.add_int("n", 8, "number of players");
 ///   args.add_double("tau-max", 256.0, "largest total per-edge cost");
 ///   args.add_flag("csv", "emit CSV instead of a table");
-///   args.parse(argc, argv);          // exits(0) on --help
+///   if (args.parse(argc, argv) == parse_status::help_requested) {
+///     std::cout << args.usage();
+///     return 0;
+///   }
 ///   int n = args.get_int("n");
 class arg_parser {
  public:
@@ -30,9 +39,11 @@ class arg_parser {
                   const std::string& help);
   void add_flag(const std::string& name, const std::string& help);
 
-  /// Parse argv. Throws bnf::precondition_error on unknown flags or
-  /// malformed values. Prints usage and std::exit(0)s on --help/-h.
-  void parse(int argc, const char* const* argv);
+  /// Parse argv. Throws bnf::precondition_error on unknown flags,
+  /// malformed values, or a flag repeated on the command line. Returns
+  /// parse_status::help_requested as soon as --help/-h is seen (remaining
+  /// arguments are left unparsed).
+  [[nodiscard]] parse_status parse(int argc, const char* const* argv);
 
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
@@ -41,6 +52,10 @@ class arg_parser {
 
   /// True if the user explicitly supplied the flag (vs. default).
   [[nodiscard]] bool was_set(const std::string& name) const;
+
+  /// All flags in registration order with their canonical textual values
+  /// (defaults included). Used by the engine sinks for run metadata.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> items() const;
 
   [[nodiscard]] std::string usage() const;
 

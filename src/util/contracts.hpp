@@ -34,4 +34,8 @@ inline void ensures(bool condition, const char* message) {
   if (!condition) throw invariant_error(message);
 }
 
+inline void ensures(bool condition, const std::string& message) {
+  if (!condition) throw invariant_error(message);
+}
+
 }  // namespace bnf

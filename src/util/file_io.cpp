@@ -1,0 +1,34 @@
+#include "util/file_io.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+std::string errno_message() {
+  return errno != 0 ? std::strerror(errno) : "unknown error";
+}
+
+std::ofstream open_for_write(const std::string& path, const std::string& who) {
+  errno = 0;
+  std::ofstream out(path);
+  if (!out.good()) {
+    throw precondition_error(who + ": cannot open " + path + ": " +
+                             errno_message());
+  }
+  return out;
+}
+
+void flush_or_throw(std::ofstream& out, const std::string& path,
+                    const std::string& who) {
+  errno = 0;
+  out.flush();
+  if (!out.good()) {
+    throw precondition_error(who + ": write failed for " + path + ": " +
+                             errno_message());
+  }
+}
+
+}  // namespace bnf

@@ -1,0 +1,23 @@
+// Loud file I/O for result writers: failures throw with the OS errno text
+// so CLI users see WHY a path was unwritable, not just that it was.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace bnf {
+
+/// strerror(errno), or "unknown error" when errno is 0.
+[[nodiscard]] std::string errno_message();
+
+/// Open `path` for writing (truncates). Throws precondition_error
+/// "<who>: cannot open <path>: <errno text>" on failure.
+[[nodiscard]] std::ofstream open_for_write(const std::string& path,
+                                           const std::string& who);
+
+/// Flush `out` and verify the stream; throws precondition_error
+/// "<who>: write failed for <path>: <errno text>" on failure.
+void flush_or_throw(std::ofstream& out, const std::string& path,
+                    const std::string& who);
+
+}  // namespace bnf

@@ -22,6 +22,12 @@ class text_table {
 
   void add_row(std::vector<std::string> cells);
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
 
   /// Render with column padding and a separator under the header.
   void print(std::ostream& out) const;

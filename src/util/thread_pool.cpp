@@ -2,15 +2,82 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
-#include <thread>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace bnf {
 
+namespace {
+
+// Set for the duration of worker_loop so nested parallel sections on a
+// worker thread run inline rather than waiting on their own pool.
+thread_local const thread_pool* current_worker_pool = nullptr;
+
+}  // namespace
+
 int default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+thread_pool::thread_pool(int initial_workers) {
+  if (initial_workers > 0) ensure_workers(initial_workers);
+}
+
+thread_pool::~thread_pool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+thread_pool& thread_pool::shared() {
+  static thread_pool pool;
+  return pool;
+}
+
+int thread_pool::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void thread_pool::ensure_workers(int workers) {
+  const int target = std::min(workers, max_workers);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  while (static_cast<int>(workers_.size()) < target) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void thread_pool::submit(std::function<void()> task) {
+  ensure_workers(1);  // a task on a worker-less pool would never run
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool thread_pool::on_worker_thread() const {
+  return current_worker_pool == this;
+}
+
+void thread_pool::worker_loop() {
+  current_worker_pool = this;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
 }
 
 void parallel_for_chunks(
@@ -19,32 +86,78 @@ void parallel_for_chunks(
   if (total == 0) return;
   const int workers =
       std::max(1, std::min<int>(threads, static_cast<int>(total)));
-  if (workers == 1) {
-    fn(0, total);
+  const std::size_t chunk = (total + workers - 1) / workers;
+
+  thread_pool& pool = thread_pool::shared();
+  if (workers == 1 || pool.on_worker_thread()) {
+    // Inline path: single worker requested, or we ARE a pool worker (a
+    // nested dispatch waiting on the queue could deadlock). Chunk bounds
+    // are preserved so callers keep their per-chunk state shape.
+    for (int w = 0; w < workers; ++w) {
+      const std::size_t begin =
+          std::min(total, static_cast<std::size_t>(w) * chunk);
+      const std::size_t end = std::min(total, begin + chunk);
+      if (begin >= end) break;
+      fn(begin, end);
+    }
     return;
   }
 
-  const std::size_t chunk = (total + workers - 1) / workers;
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  // One completion record per dispatch; all chunks but the last non-empty
+  // one are queued on the persistent pool, the caller runs that last chunk
+  // itself and then waits for the stragglers.
+  struct dispatch_state {
+    std::mutex mutex;
+    std::condition_variable done;
+    int remaining{0};
+    std::exception_ptr first_error;
+  };
+  const auto state = std::make_shared<dispatch_state>();
 
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  chunks.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    const std::size_t begin = std::min(total, static_cast<std::size_t>(w) * chunk);
+    const std::size_t begin =
+        std::min(total, static_cast<std::size_t>(w) * chunk);
     const std::size_t end = std::min(total, begin + chunk);
     if (begin >= end) break;
-    pool.emplace_back([&, begin, end] {
+    chunks.emplace_back(begin, end);
+  }
+
+  pool.ensure_workers(static_cast<int>(chunks.size()) - 1);
+  for (std::size_t c = 0; c + 1 < chunks.size(); ++c) {
+    const auto [begin, end] = chunks[c];
+    {
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      ++state->remaining;
+    }
+    pool.submit([state, begin, end, &fn] {
       try {
         fn(begin, end);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->first_error) state->first_error = std::current_exception();
       }
+      {
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        --state->remaining;
+      }
+      state->done.notify_one();
     });
   }
-  for (auto& worker : pool) worker.join();
-  if (first_error) std::rethrow_exception(first_error);
+
+  std::exception_ptr caller_error;
+  try {
+    const auto [begin, end] = chunks.back();
+    fn(begin, end);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->remaining == 0; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+  if (caller_error) std::rethrow_exception(caller_error);
 }
 
 }  // namespace bnf

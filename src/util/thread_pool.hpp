@@ -1,18 +1,66 @@
-// A small blocking parallel-for used by the graph enumerator. Work is split
-// into contiguous index chunks; each worker runs the chunk function on its
-// own slice, so callers keep per-thread state without locks.
+// Persistent task-queue thread pool plus the blocking parallel-for used by
+// the graph enumerator and the census. Workers stay alive across calls, so
+// repeated sweeps pay one queue push per chunk instead of a thread spawn;
+// `parallel_for_chunks` keeps its original contract as a thin wrapper.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace bnf {
 
 /// Number of worker threads to use by default (hardware concurrency, >= 1).
 [[nodiscard]] int default_thread_count();
 
+/// Fixed-size-growing pool of worker threads draining a shared task queue.
+/// Workers are spawned on demand (never torn down until destruction), so a
+/// long experiment run reuses the same OS threads for every dispatch.
+class thread_pool {
+ public:
+  /// Workers a single pool will grow to at most; requests beyond this are
+  /// still correct, they just queue behind the existing workers.
+  static constexpr int max_workers = 64;
+
+  explicit thread_pool(int initial_workers = 0);
+  ~thread_pool();
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// The process-wide pool behind parallel_for_chunks and the engine runner.
+  static thread_pool& shared();
+
+  /// Current worker count.
+  [[nodiscard]] int size() const;
+
+  /// Grow to at least `workers` threads (clamped to max_workers); never
+  /// shrinks. Safe to call concurrently.
+  void ensure_workers(int workers);
+
+  /// Enqueue a task for any worker to pick up.
+  void submit(std::function<void()> task);
+
+  /// True when called from one of THIS pool's worker threads. Used to run
+  /// nested parallel sections inline instead of deadlocking on the queue.
+  [[nodiscard]] bool on_worker_thread() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_{false};
+};
+
 /// Run fn(begin, end) over disjoint chunks of [0, total) on `threads`
-/// workers and block until all complete. With threads <= 1 runs inline.
+/// workers of the shared pool and block until all complete. With
+/// threads <= 1 (or when called from inside a pool worker) runs inline.
 /// Exceptions thrown by chunk functions are rethrown on the caller thread.
 void parallel_for_chunks(std::size_t total, int threads,
                          const std::function<void(std::size_t, std::size_t)>& fn);

@@ -21,7 +21,8 @@ arg_parser make_parser() {
 TEST(ArgParseTest, DefaultsApply) {
   auto args = make_parser();
   const std::array argv{"prog"};
-  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.parse(static_cast<int>(argv.size()), argv.data()),
+            parse_status::ok);
   EXPECT_EQ(args.get_int("n"), 8);
   EXPECT_DOUBLE_EQ(args.get_double("alpha"), 1.5);
   EXPECT_EQ(args.get_string("mode"), "exhaustive");
@@ -33,7 +34,8 @@ TEST(ArgParseTest, SpaceSeparatedValues) {
   auto args = make_parser();
   const std::array argv{"prog", "--n", "10", "--alpha", "2.25", "--mode",
                         "dynamics"};
-  args.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.parse(static_cast<int>(argv.size()), argv.data()),
+            parse_status::ok);
   EXPECT_EQ(args.get_int("n"), 10);
   EXPECT_DOUBLE_EQ(args.get_double("alpha"), 2.25);
   EXPECT_EQ(args.get_string("mode"), "dynamics");
@@ -43,7 +45,7 @@ TEST(ArgParseTest, SpaceSeparatedValues) {
 TEST(ArgParseTest, EqualsSyntaxAndBoolFlag) {
   auto args = make_parser();
   const std::array argv{"prog", "--n=12", "--csv"};
-  args.parse(static_cast<int>(argv.size()), argv.data());
+  (void)args.parse(static_cast<int>(argv.size()), argv.data());
   EXPECT_EQ(args.get_int("n"), 12);
   EXPECT_TRUE(args.get_flag("csv"));
 }
@@ -51,7 +53,7 @@ TEST(ArgParseTest, EqualsSyntaxAndBoolFlag) {
 TEST(ArgParseTest, ExplicitBoolValue) {
   auto args = make_parser();
   const std::array argv{"prog", "--csv=false"};
-  args.parse(static_cast<int>(argv.size()), argv.data());
+  (void)args.parse(static_cast<int>(argv.size()), argv.data());
   EXPECT_FALSE(args.get_flag("csv"));
 }
 
@@ -79,9 +81,46 @@ TEST(ArgParseTest, MissingValueThrows) {
 TEST(ArgParseTest, TypeMismatchOnGetThrows) {
   auto args = make_parser();
   const std::array argv{"prog"};
-  args.parse(static_cast<int>(argv.size()), argv.data());
+  (void)args.parse(static_cast<int>(argv.size()), argv.data());
   EXPECT_THROW((void)args.get_int("alpha"), precondition_error);
   EXPECT_THROW((void)args.get_flag("n"), precondition_error);
+}
+
+TEST(ArgParseTest, HelpReturnsStatusInsteadOfExiting) {
+  for (const char* token : {"--help", "-h"}) {
+    auto args = make_parser();
+    const std::array argv{"prog", token};
+    EXPECT_EQ(args.parse(static_cast<int>(argv.size()), argv.data()),
+              parse_status::help_requested);
+    // Defaults are untouched; the parser remains usable after help.
+    EXPECT_EQ(args.get_int("n"), 8);
+  }
+}
+
+TEST(ArgParseTest, HelpShortCircuitsBeforeLaterFlags) {
+  auto args = make_parser();
+  const std::array argv{"prog", "--help", "--bogus", "1"};
+  EXPECT_EQ(args.parse(static_cast<int>(argv.size()), argv.data()),
+            parse_status::help_requested);
+}
+
+TEST(ArgParseTest, DuplicateFlagOnCommandLineThrows) {
+  auto args = make_parser();
+  const std::array argv{"prog", "--n", "1", "--n", "2"};
+  EXPECT_THROW((void)args.parse(static_cast<int>(argv.size()), argv.data()),
+               precondition_error);
+}
+
+TEST(ArgParseTest, ItemsListFlagsInRegistrationOrder) {
+  auto args = make_parser();
+  const std::array argv{"prog", "--alpha", "2.5"};
+  (void)args.parse(static_cast<int>(argv.size()), argv.data());
+  const auto items = args.items();
+  ASSERT_EQ(items.size(), 4U);
+  EXPECT_EQ(items[0], (std::pair<std::string, std::string>{"n", "8"}));
+  EXPECT_EQ(items[1].first, "alpha");
+  EXPECT_EQ(items[1].second, "2.5");
+  EXPECT_EQ(items[3].first, "csv");
 }
 
 TEST(ArgParseTest, DuplicateRegistrationThrows) {

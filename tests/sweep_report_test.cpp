@@ -140,5 +140,20 @@ TEST(ReportTest, CsvWriteFailureThrows) {
                precondition_error);
 }
 
+TEST(ReportTest, CsvWriteFailureSurfacesErrnoText) {
+  const std::array<census_point, 1> points{sample_point()};
+  try {
+    write_csv_file(figure2_table(points), "/nonexistent/x.csv");
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("/nonexistent/x.csv"), std::string::npos);
+    // The OS reason must be in the message so CLI users see WHY the path
+    // was unwritable, not just that it was.
+    EXPECT_NE(message.find("No such file or directory"), std::string::npos)
+        << message;
+  }
+}
+
 }  // namespace
 }  // namespace bnf

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace bnf {
@@ -60,6 +61,62 @@ TEST(ThreadPoolTest, PropagatesWorkerException) {
                                      }
                                    }),
                std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SharedPoolPersistsAcrossDispatches) {
+  std::atomic<int> sum{0};
+  parallel_for_chunks(100, 4, [&](std::size_t begin, std::size_t end) {
+    sum.fetch_add(static_cast<int>(end - begin));
+  });
+  const int size_after_first = thread_pool::shared().size();
+  EXPECT_GE(size_after_first, 1);
+  for (int i = 0; i < 8; ++i) {
+    parallel_for_chunks(100, 4, [&](std::size_t begin, std::size_t end) {
+      sum.fetch_add(static_cast<int>(end - begin));
+    });
+  }
+  // Workers stay alive and are reused: repeated dispatches at the same
+  // width never grow the pool.
+  EXPECT_EQ(thread_pool::shared().size(), size_after_first);
+  EXPECT_EQ(sum.load(), 900);
+}
+
+TEST(ThreadPoolTest, EnsureWorkersGrowsMonotonically) {
+  thread_pool pool;
+  EXPECT_EQ(pool.size(), 0);
+  pool.ensure_workers(2);
+  EXPECT_EQ(pool.size(), 2);
+  pool.ensure_workers(1);  // never shrinks
+  EXPECT_EQ(pool.size(), 2);
+  pool.ensure_workers(3);
+  EXPECT_EQ(pool.size(), 3);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasksOnWorkers) {
+  thread_pool pool(2);
+  std::atomic<int> ran{0};
+  std::atomic<int> on_worker{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+      if (pool.on_worker_thread()) on_worker.fetch_add(1);
+      ran.fetch_add(1);
+    });
+  }
+  while (ran.load() < 16) std::this_thread::yield();
+  EXPECT_EQ(on_worker.load(), 16);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  std::atomic<int> inner_total{0};
+  parallel_for_chunks(4, 4, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      parallel_for_chunks(100, 4, [&](std::size_t b, std::size_t e) {
+        inner_total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 400);
 }
 
 TEST(ThreadPoolTest, ChunksArePartition) {
