@@ -15,54 +15,26 @@ namespace bnf {
 
 namespace {
 
-constexpr double plus_infinity = std::numeric_limits<double>::infinity();
-
-// Everything alpha-independent about one topology, computed in one pass.
+// Everything alpha-independent about one topology, computed in one pass:
+// the exact equilibrium certificates of both games plus the integer
+// ingredients of the social cost line alpha * edges + distance_total.
 struct graph_profile {
   int edges{0};
   long long distance_total{0};
   stability_record bcg;
-  double ucg_min_alpha{0.0};
-  double ucg_max_alpha{plus_infinity};
+  alpha_interval bcg_interval;
+  alpha_interval_set ucg;
 };
 
-graph_profile profile_graph(const graph& g) {
+graph_profile profile_graph(const graph& g, bool include_ucg,
+                            const alpha_interval& ucg_clamp) {
   graph_profile profile;
   profile.edges = g.size();
   profile.distance_total = total_distance(g).sum;
-  profile.bcg =
-      stability_record{0.0, plus_infinity, true};
-
-  std::vector<std::pair<long long, long long>> savings;
-  for (const auto& [u, v] : g.non_edges()) {
-    const long long dec_u = edge_addition_decrease(g, u, v);
-    const long long dec_v = edge_addition_decrease(g, v, u);
-    savings.emplace_back(std::min(dec_u, dec_v), std::max(dec_u, dec_v));
-    profile.bcg.alpha_min =
-        std::max(profile.bcg.alpha_min,
-                 static_cast<double>(std::min(dec_u, dec_v)));
-    profile.ucg_min_alpha = std::max(
-        profile.ucg_min_alpha, static_cast<double>(std::max(dec_u, dec_v)));
-  }
-  for (const auto& [least, most] : savings) {
-    if (static_cast<double>(least) == profile.bcg.alpha_min && most > least) {
-      profile.bcg.boundary_stable = false;
-    }
-  }
-
-  for (const auto& [u, v] : g.edges()) {
-    const long long inc_u = edge_deletion_increase(g, u, v);
-    const long long inc_v = edge_deletion_increase(g, v, u);
-    if (std::min(inc_u, inc_v) < infinite_delta) {
-      profile.bcg.alpha_max =
-          std::min(profile.bcg.alpha_max,
-                   static_cast<double>(std::min(inc_u, inc_v)));
-    }
-    if (std::max(inc_u, inc_v) < infinite_delta) {
-      profile.ucg_max_alpha =
-          std::min(profile.ucg_max_alpha,
-                   static_cast<double>(std::max(inc_u, inc_v)));
-    }
+  profile.bcg = compute_stability_record(g);
+  profile.bcg_interval = to_alpha_interval(profile.bcg);
+  if (include_ucg) {
+    profile.ucg = ucg_nash_alpha_region(g, ucg_clamp).region;
   }
   return profile;
 }
@@ -101,8 +73,6 @@ struct accumulator_cell {
   }
 };
 
-constexpr double ucg_filter_eps = 1e-9;
-
 }  // namespace
 
 std::vector<census_point> census_sweep(int n, std::span<const double> taus,
@@ -116,15 +86,33 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
   const auto keys = all_graph_keys(n, {.connected_only = true,
                                        .threads = options.threads});
 
-  // Precompute the optimal social cost per grid point and game.
+  // Precompute the optimal social cost per grid point and game, plus the
+  // exact rational value of each grid alpha (membership tests below are
+  // then cheap exact cross-multiplications instead of per-test double
+  // decompositions).
   const std::size_t grid = taus.size();
   std::vector<double> opt_bcg(grid);
   std::vector<double> opt_ucg(grid);
+  std::vector<rational> alpha_bcg_exact(grid);
+  std::vector<rational> alpha_ucg_exact(grid);
   for (std::size_t t = 0; t < grid; ++t) {
     opt_bcg[t] = optimal_social_cost(
         connection_game{n, taus[t] / 2.0, link_rule::bilateral});
     opt_ucg[t] = optimal_social_cost(
         connection_game{n, taus[t], link_rule::unilateral});
+    alpha_bcg_exact[t] = exact_rational(taus[t] / 2.0);
+    alpha_ucg_exact[t] = exact_rational(taus[t]);
+  }
+  // The sweep only ever queries the UCG region at the grid points, so the
+  // region search can be clamped to the grid's hull: topologies whose
+  // Nash window misses the grid entirely cost one root-window test.
+  alpha_interval ucg_clamp = alpha_interval::empty_interval();
+  if (grid > 0) {
+    ucg_clamp = {*std::min_element(alpha_ucg_exact.begin(),
+                                   alpha_ucg_exact.end()),
+                 *std::max_element(alpha_ucg_exact.begin(),
+                                   alpha_ucg_exact.end()),
+                 true, true};
   }
 
   // Sharding is FIXED (independent of the thread count) and shards are
@@ -148,21 +136,22 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
       auto& ucg_local = ucg_shard[shard];
       for (std::size_t index = lo; index < hi; ++index) {
         const graph g = graph::from_key64(n, keys[index]);
-        const graph_profile profile = profile_graph(g);
+        // ONE stability analysis per topology; the grid loop below is
+        // pure exact interval membership, so the sweep's cost does not
+        // depend on how fine the tau grid is.
+        const graph_profile profile =
+            profile_graph(g, options.include_ucg, ucg_clamp);
 
         for (std::size_t t = 0; t < grid; ++t) {
-          const double alpha_bcg = taus[t] / 2.0;
-          if (profile.bcg.stable_at(alpha_bcg)) {
+          if (profile.bcg_interval.contains(alpha_bcg_exact[t])) {
+            const double alpha_bcg = taus[t] / 2.0;
             const double social = 2.0 * alpha_bcg * profile.edges +
                                   static_cast<double>(profile.distance_total);
             bcg_local[t].add(social / opt_bcg[t], profile.edges);
           }
           if (options.include_ucg) {
-            const double alpha_ucg = taus[t];
-            const bool passes_filters =
-                profile.ucg_min_alpha <= alpha_ucg + ucg_filter_eps &&
-                alpha_ucg <= profile.ucg_max_alpha + ucg_filter_eps;
-            if (passes_filters && is_ucg_nash(g, alpha_ucg)) {
+            if (profile.ucg.contains(alpha_ucg_exact[t])) {
+              const double alpha_ucg = taus[t];
               const double social =
                   alpha_ucg * profile.edges +
                   static_cast<double>(profile.distance_total);
@@ -208,11 +197,18 @@ std::vector<census_graph_record> build_census_records(
                       [&](std::size_t begin, std::size_t end) {
                         for (std::size_t i = begin; i < end; ++i) {
                           const graph g = graph::from_key64(n, keys[i]);
-                          const graph_profile profile = profile_graph(g);
+                          // Records keep the FULL region (no clamp): they
+                          // back the breakpoint enumerator, which needs
+                          // every threshold.
+                          graph_profile profile = profile_graph(
+                              g, options.include_ucg, alpha_interval{});
                           records[i] = census_graph_record{
-                              keys[i],          profile.edges,
-                              profile.distance_total, profile.bcg,
-                              profile.ucg_min_alpha,  profile.ucg_max_alpha};
+                              keys[i],
+                              profile.edges,
+                              profile.distance_total,
+                              profile.bcg,
+                              profile.bcg_interval,
+                              std::move(profile.ucg)};
                         }
                       });
   return records;

@@ -9,14 +9,21 @@
 // log(alpha) for the UCG against log(2*alpha) for the BCG):
 //      alpha_UCG = tau,   alpha_BCG = tau / 2.
 //
-// Per-graph stability data is computed once (exact integer deltas) and
-// evaluated against every grid point; the expensive UCG Nash search runs
-// only on graphs surviving the paper's "fast checks" (footnote 8).
+// Every player cost in both games is linear in alpha, so each topology's
+// equilibrium region is an exact rational interval (certificates from
+// equilibria/alpha_interval.hpp). The census therefore runs ONE stability
+// analysis per topology — compute_stability_record for the BCG,
+// ucg_nash_alpha_region for the UCG — and every grid point becomes a pure
+// interval-membership lookup: the sweep's cost is independent of the grid
+// resolution and no per-grid-point Nash search (and no epsilon slack)
+// is involved. analysis/poa_curve.hpp builds on the same records to
+// replace the grid entirely with exact breakpoints.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "equilibria/alpha_interval.hpp"
 #include "equilibria/pairwise_stability.hpp"
 #include "graph/graph.hpp"
 
@@ -47,26 +54,29 @@ struct census_options {
 
 /// Run the full census at every total-edge-cost in `taus`.
 /// Requires 2 <= n <= 10 (n=8 takes seconds; n=10, the paper's setting,
-/// takes minutes and ~1 GB as it walks 11.7M topologies).
+/// takes minutes and ~1 GB as it walks 11.7M topologies). Performs one
+/// exact stability analysis per topology; `ucg_nash_search_invocations`
+/// does not advance (the tests pin this).
 [[nodiscard]] std::vector<census_point> census_sweep(
     int n, std::span<const double> taus, const census_options& options = {});
 
 /// Per-topology census record for small n (<= 8): everything needed to
-/// re-derive equilibrium sets at any alpha without touching the graph.
+/// re-derive both games' equilibrium sets at ANY link cost — grid point
+/// or exact rational breakpoint — without touching the graph again.
 struct census_graph_record {
   std::uint64_t key{0};  // canonical key (order implied by the census)
   int edges{0};
   long long distance_total{0};  // sum over ordered pairs
   stability_record bcg;         // exact pairwise-stability predicate
-  /// Largest one-endpoint saving over missing links: UCG-Nash needs
-  /// alpha >= this (else someone adds a link unilaterally).
-  double ucg_min_alpha{0.0};
-  /// Smallest over edges of the larger endpoint severance increase:
-  /// UCG-Nash needs alpha <= this (else some edge has no willing buyer).
-  double ucg_max_alpha{0.0};
+  /// Exact interval form of `bcg` (alpha_BCG units; identical decisions).
+  alpha_interval bcg_interval;
+  /// Exact UCG Nash region (alpha_UCG units) from the parametric
+  /// orientation search. Empty when include_ucg was false.
+  alpha_interval_set ucg;
 };
 
-/// Materialized per-topology records, sorted by canonical key.
+/// Materialized per-topology records, sorted by canonical key. The UCG
+/// region is computed unless options.include_ucg is false.
 [[nodiscard]] std::vector<census_graph_record> build_census_records(
     int n, const census_options& options = {});
 

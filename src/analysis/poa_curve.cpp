@@ -1,0 +1,152 @@
+#include "analysis/poa_curve.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "game/connection_game.hpp"
+#include "game/efficiency.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+namespace {
+
+// Same aggregation the census sweep performs per grid point (kept local:
+// the census's accumulator also carries shard-merge plumbing).
+struct stats_accumulator {
+  long long count{0};
+  double poa_sum{0.0};
+  double poa_max{0.0};
+  double poa_min{std::numeric_limits<double>::infinity()};
+  double edge_sum{0.0};
+
+  void add(double poa, int edges) {
+    ++count;
+    poa_sum += poa;
+    poa_max = std::max(poa_max, poa);
+    poa_min = std::min(poa_min, poa);
+    edge_sum += edges;
+  }
+  [[nodiscard]] equilibrium_set_stats stats() const {
+    equilibrium_set_stats result;
+    result.count = count;
+    result.max_poa = poa_max;
+    if (count > 0) {
+      result.min_poa = poa_min;
+      result.avg_poa = poa_sum / static_cast<double>(count);
+      result.avg_edges = edge_sum / static_cast<double>(count);
+    }
+    return result;
+  }
+};
+
+// Membership is exact (rational or exact-double comparisons); only the
+// aggregated statistics are evaluated in floating point, with the same
+// expressions the census sweep uses.
+template <typename Alpha>
+census_point evaluate_at(const poa_curve& curve, const Alpha& alpha_bcg,
+                         const Alpha& alpha_ucg, double alpha_bcg_value,
+                         double alpha_ucg_value) {
+  census_point point;
+  point.tau = alpha_ucg_value;
+  point.alpha_bcg = alpha_bcg_value;
+  point.alpha_ucg = alpha_ucg_value;
+  const double opt_bcg = optimal_social_cost(
+      connection_game{curve.n, alpha_bcg_value, link_rule::bilateral});
+  const double opt_ucg = optimal_social_cost(
+      connection_game{curve.n, alpha_ucg_value, link_rule::unilateral});
+  stats_accumulator bcg;
+  stats_accumulator ucg;
+  for (const census_graph_record& record : curve.records) {
+    if (record.bcg_interval.contains(alpha_bcg)) {
+      const double social = 2.0 * alpha_bcg_value * record.edges +
+                            static_cast<double>(record.distance_total);
+      bcg.add(social / opt_bcg, record.edges);
+    }
+    if (record.ucg.contains(alpha_ucg)) {
+      const double social = alpha_ucg_value * record.edges +
+                            static_cast<double>(record.distance_total);
+      ucg.add(social / opt_ucg, record.edges);
+    }
+  }
+  point.bcg = bcg.stats();
+  point.ucg = ucg.stats();
+  return point;
+}
+
+void note_breakpoint(std::vector<poa_breakpoint>& breakpoints,
+                     const rational& tau, bool from_bcg) {
+  if (tau.is_infinite() || tau.num <= 0) return;
+  poa_breakpoint entry{tau, from_bcg, !from_bcg};
+  breakpoints.push_back(entry);
+}
+
+/// BCG thresholds live in alpha_BCG = tau / 2 units; fold into tau.
+rational doubled(const rational& alpha) {
+  if (alpha.is_infinite()) return alpha;
+  return rational::make(2 * alpha.num, alpha.den);
+}
+
+}  // namespace
+
+poa_curve build_poa_curve(int n, const census_options& options) {
+  poa_curve curve;
+  curve.n = n;
+  curve.records = build_census_records(n, options);
+
+  std::vector<poa_breakpoint> raw;
+  for (const census_graph_record& record : curve.records) {
+    if (!record.bcg_interval.empty()) {
+      note_breakpoint(raw, doubled(record.bcg_interval.lo), true);
+      note_breakpoint(raw, doubled(record.bcg_interval.hi), true);
+    }
+    for (const alpha_interval& part : record.ucg.parts()) {
+      note_breakpoint(raw, part.lo, false);
+      note_breakpoint(raw, part.hi, false);
+    }
+  }
+  std::sort(raw.begin(), raw.end(),
+            [](const poa_breakpoint& a, const poa_breakpoint& b) {
+              return a.tau < b.tau;
+            });
+  for (const poa_breakpoint& entry : raw) {
+    if (!curve.breakpoints.empty() &&
+        curve.breakpoints.back().tau == entry.tau) {
+      curve.breakpoints.back().from_bcg |= entry.from_bcg;
+      curve.breakpoints.back().from_ucg |= entry.from_ucg;
+    } else {
+      curve.breakpoints.push_back(entry);
+    }
+  }
+  return curve;
+}
+
+census_point evaluate_poa_curve(const poa_curve& curve, double tau) {
+  expects(tau > 0, "evaluate_poa_curve: requires tau > 0");
+  return evaluate_at(curve, tau / 2.0, tau, tau / 2.0, tau);
+}
+
+census_point evaluate_poa_curve(const poa_curve& curve, const rational& tau) {
+  expects(!tau.is_infinite() && tau.num > 0,
+          "evaluate_poa_curve: requires finite tau > 0");
+  const rational alpha_bcg = rational::make(tau.num, 2 * tau.den);
+  return evaluate_at(curve, alpha_bcg, tau, alpha_bcg.to_double(),
+                     tau.to_double());
+}
+
+rational poa_curve_segment_probe(const poa_curve& curve, std::size_t segment) {
+  expects(segment <= curve.breakpoints.size(),
+          "poa_curve_segment_probe: segment out of range");
+  if (curve.breakpoints.empty()) return rational::from_int(1);
+  if (segment == 0) {
+    const rational& first = curve.breakpoints.front().tau;
+    return rational::make(first.num, 2 * first.den);
+  }
+  const rational& left = curve.breakpoints[segment - 1].tau;
+  if (segment == curve.breakpoints.size()) {
+    return rational::make(left.num + left.den, left.den);
+  }
+  return midpoint(left, curve.breakpoints[segment].tau);
+}
+
+}  // namespace bnf

@@ -1,0 +1,65 @@
+// Breakpoint-exact census curves. The census records carry both games'
+// equilibrium regions as exact rational intervals, so instead of sampling
+// link cost on a grid (Figures 2/3 style) the curves can be described
+// completely: merge every interval endpoint into one sorted breakpoint
+// list, and between consecutive breakpoints BOTH equilibrium sets are
+// constant. Everything the figures plot is then exact piecewise data —
+// the equilibrium counts and average link counts are piecewise constant,
+// and the PoA aggregates on each piece are exact evaluations of one fixed
+// equilibrium set (their tau-dependence inside a piece is the smooth
+// ratio (alpha * links + dist) / opt(alpha), with no set changes).
+//
+// Grid sweeps become lookups: evaluate_poa_curve at any tau reproduces
+// the census_sweep point at that tau from the cached intervals alone.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/census.hpp"
+#include "util/rational.hpp"
+
+namespace bnf {
+
+/// One exact threshold of the census curves in TOTAL per-edge cost (tau)
+/// units. BCG interval endpoints arrive doubled (tau = 2 * alpha_BCG),
+/// UCG endpoints unchanged (tau = alpha_UCG).
+struct poa_breakpoint {
+  rational tau;
+  bool from_bcg{false};
+  bool from_ucg{false};
+};
+
+/// The full census in exact piecewise form. Segment s (for s in
+/// 0..breakpoints.size()) is the open tau range between breakpoints s-1
+/// and s, with segment 0 starting at 0 and the last segment unbounded;
+/// breakpoints themselves are evaluated as points (the closed-boundary
+/// convention of alpha_interval.hpp decides their membership).
+struct poa_curve {
+  int n{0};
+  std::vector<census_graph_record> records;
+  std::vector<poa_breakpoint> breakpoints;  // sorted, distinct, finite, > 0
+};
+
+/// Enumerate the records (one exact stability analysis per topology) and
+/// merge their interval endpoints. Requires 2 <= n <= 8 (the record
+/// guard); set options.include_ucg = false to get BCG-only curves.
+[[nodiscard]] poa_curve build_poa_curve(int n,
+                                        const census_options& options = {});
+
+/// Census evaluation at total edge cost tau from the cached intervals —
+/// equivalent to a census_sweep grid point, with zero stability
+/// re-analysis. The rational overload evaluates exactly ON breakpoints.
+[[nodiscard]] census_point evaluate_poa_curve(const poa_curve& curve,
+                                              double tau);
+[[nodiscard]] census_point evaluate_poa_curve(const poa_curve& curve,
+                                              const rational& tau);
+
+/// An exact rational probe strictly inside segment `segment` (see
+/// poa_curve for the numbering): midpoints between breakpoints, half the
+/// first breakpoint, or one past the last. Requires
+/// segment <= breakpoints.size().
+[[nodiscard]] rational poa_curve_segment_probe(const poa_curve& curve,
+                                               std::size_t segment);
+
+}  // namespace bnf

@@ -81,6 +81,55 @@ text_table price_of_stability_table(std::span<const census_point> points) {
   return table;
 }
 
+text_table poa_breakpoints_table(const poa_curve& curve) {
+  text_table table({"idx", "tau_exact", "tau", "games"});
+  for (std::size_t i = 0; i < curve.breakpoints.size(); ++i) {
+    const poa_breakpoint& entry = curve.breakpoints[i];
+    std::string games;
+    if (entry.from_bcg) games += "bcg";
+    if (entry.from_ucg) games += games.empty() ? "ucg" : "+ucg";
+    table.add_row({std::to_string(i), to_string(entry.tau),
+                   fmt_double(entry.tau.to_double(), 4), games});
+  }
+  return table;
+}
+
+text_table poa_curve_table(const poa_curve& curve) {
+  text_table table({"kind", "tau_lo", "tau_hi", "tau_eval", "#stable_BCG",
+                    "avgPoA_BCG", "maxPoA_BCG", "PoS_BCG", "avgLinks_BCG",
+                    "#nash_UCG", "avgPoA_UCG", "maxPoA_UCG", "PoS_UCG",
+                    "avgLinks_UCG"});
+  const auto add = [&](const std::string& kind, const std::string& tau_lo,
+                       const std::string& tau_hi, const rational& probe) {
+    const census_point point = evaluate_poa_curve(curve, probe);
+    table.add_row({kind, tau_lo, tau_hi, to_string(probe),
+                   count_or_dash(point.bcg.count),
+                   stat_or_dash(point.bcg.count, point.bcg.avg_poa, 4),
+                   stat_or_dash(point.bcg.count, point.bcg.max_poa, 4),
+                   stat_or_dash(point.bcg.count, point.bcg.min_poa, 4),
+                   stat_or_dash(point.bcg.count, point.bcg.avg_edges, 3),
+                   count_or_dash(point.ucg.count),
+                   stat_or_dash(point.ucg.count, point.ucg.avg_poa, 4),
+                   stat_or_dash(point.ucg.count, point.ucg.max_poa, 4),
+                   stat_or_dash(point.ucg.count, point.ucg.min_poa, 4),
+                   stat_or_dash(point.ucg.count, point.ucg.avg_edges, 3)});
+  };
+  const std::size_t segments = curve.breakpoints.size() + 1;
+  for (std::size_t s = 0; s < segments; ++s) {
+    const std::string lo =
+        s == 0 ? "0" : to_string(curve.breakpoints[s - 1].tau);
+    const std::string hi = s == curve.breakpoints.size()
+                               ? "inf"
+                               : to_string(curve.breakpoints[s].tau);
+    add("segment", lo, hi, poa_curve_segment_probe(curve, s));
+    if (s < curve.breakpoints.size()) {
+      const rational& tau = curve.breakpoints[s].tau;
+      add("point", to_string(tau), to_string(tau), tau);
+    }
+  }
+  return table;
+}
+
 void write_csv_file(const text_table& table, const std::string& path) {
   std::ofstream out = open_for_write(path, "write_csv_file");
   table.to_csv(out);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "analysis/census.hpp"
+#include "analysis/poa_curve.hpp"
 #include "util/table.hpp"
 
 namespace bnf {
@@ -29,6 +30,18 @@ namespace bnf {
 /// both games, so these columns should pin to 1 wherever equilibria exist.
 [[nodiscard]] text_table price_of_stability_table(
     std::span<const census_point> points);
+
+/// Exact breakpoint list of a poa_curve: each row is one rational tau at
+/// which an equilibrium set changes, tagged with the game(s) shifting
+/// there. The exact column is pure integer formatting, which makes this
+/// table the golden-file anchor for the CI breakpoint diff.
+[[nodiscard]] text_table poa_breakpoints_table(const poa_curve& curve);
+
+/// The full piecewise census: alternating open segments (evaluated at an
+/// exact interior probe) and breakpoint rows (evaluated exactly ON the
+/// threshold), with both games' equilibrium count, avg/max PoA, price of
+/// stability, and average link count.
+[[nodiscard]] text_table poa_curve_table(const poa_curve& curve);
 
 /// Write any table as CSV to `path` (truncates). Throws precondition_error
 /// on I/O failure with the OS errno text in the message.

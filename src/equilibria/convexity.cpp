@@ -37,13 +37,10 @@ bool is_cost_convex_at(const graph& g, int i, std::uint64_t bundle) {
 
 bool is_cost_convex_for_player(const graph& g, int i) {
   expects(g.degree(i) <= 20, "is_cost_convex_for_player: degree too large");
-  bool convex = true;
-  for_each_subset(g.neighbors(i), [&](std::uint64_t bundle) {
-    if (convex && popcount(bundle) >= 2 && !is_cost_convex_at(g, i, bundle)) {
-      convex = false;
-    }
+  // Stop at the first non-convex bundle instead of walking all 2^deg.
+  return !for_each_subset(g.neighbors(i), [&](std::uint64_t bundle) {
+    return popcount(bundle) >= 2 && !is_cost_convex_at(g, i, bundle);
   });
-  return convex;
 }
 
 bool is_cost_convex(const graph& g) {

@@ -13,16 +13,15 @@ bool is_bcg_nash_supported(const graph& g, double alpha) {
   if (!is_connected(g)) return false;
   for (int i = 0; i < g.order(); ++i) {
     expects(g.degree(i) <= 20, "is_bcg_nash_supported: degree too large");
-    bool deviates = false;
-    // Dropping bundle B saves alpha*|B| and costs the distance increase.
-    for_each_subset(g.neighbors(i), [&](std::uint64_t bundle) {
-      if (deviates || bundle == 0) return;
-      const long long inc = bundle_deletion_increase(g, i, bundle);
-      if (inc >= infinite_delta) return;
-      if (alpha * popcount(bundle) > static_cast<double>(inc)) {
-        deviates = true;
-      }
-    });
+    // Dropping bundle B saves alpha*|B| and costs the distance increase;
+    // the traversal stops at the first strictly improving bundle.
+    const bool deviates =
+        for_each_subset(g.neighbors(i), [&](std::uint64_t bundle) {
+          if (bundle == 0) return false;
+          const long long inc = bundle_deletion_increase(g, i, bundle);
+          if (inc >= infinite_delta) return false;
+          return alpha * popcount(bundle) > static_cast<double>(inc);
+        });
     if (deviates) return false;
   }
   return true;

@@ -1,10 +1,12 @@
 #include "equilibria/pairwise_stability.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
 
 #include "graph/paths.hpp"
+#include "util/bitops.hpp"
 #include "util/contracts.hpp"
 
 namespace bnf {
@@ -33,12 +35,32 @@ stability_record compute_stability_record(const graph& g) {
           "compute_stability_record: requires a connected graph");
   stability_record record{0.0, std::numeric_limits<double>::infinity(), true};
 
+  // All deltas are single-link toggles incident to the measured endpoint,
+  // so one base BFS per vertex plus one row-replacement BFS per (pair,
+  // endpoint) covers everything — no graph copies, no re-derived base
+  // sums (distance_sum_with_row in graph/paths.hpp).
+  const int n = g.order();
+  std::vector<long long> base(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    base[static_cast<std::size_t>(v)] = distance_sum(g, v).sum;
+  }
+  const auto addition_decrease = [&](int a, int b) {
+    return base[static_cast<std::size_t>(a)] -
+           distance_sum_with_row(g, a, g.neighbors(a) | bit(b)).sum;
+  };
+  const auto deletion_increase = [&](int a, int b) {
+    const distance_summary cut =
+        distance_sum_with_row(g, a, g.neighbors(a) & ~bit(b));
+    if (cut.unreached > 0) return infinite_delta;
+    return cut.sum - base[static_cast<std::size_t>(a)];
+  };
+
   // Collect (least, most) interested savings per missing link, then decide
   // the boundary case against the final alpha_min.
   std::vector<std::pair<long long, long long>> savings;
   for (const auto& [u, v] : g.non_edges()) {
-    const long long dec_u = edge_addition_decrease(g, u, v);
-    const long long dec_v = edge_addition_decrease(g, v, u);
+    const long long dec_u = addition_decrease(u, v);
+    const long long dec_v = addition_decrease(v, u);
     savings.emplace_back(std::min(dec_u, dec_v), std::max(dec_u, dec_v));
     record.alpha_min = std::max(
         record.alpha_min, static_cast<double>(std::min(dec_u, dec_v)));
@@ -50,8 +72,8 @@ stability_record compute_stability_record(const graph& g) {
   }
 
   for (const auto& [u, v] : g.edges()) {
-    const long long inc_u = edge_deletion_increase(g, u, v);
-    const long long inc_v = edge_deletion_increase(g, v, u);
+    const long long inc_u = deletion_increase(u, v);
+    const long long inc_v = deletion_increase(v, u);
     const long long binding = std::min(inc_u, inc_v);
     if (binding < infinite_delta) {
       record.alpha_max =
@@ -63,6 +85,20 @@ stability_record compute_stability_record(const graph& g) {
 
 stability_interval compute_stability_interval(const graph& g) {
   return compute_stability_record(g).interval();
+}
+
+alpha_interval to_alpha_interval(const stability_record& record) {
+  alpha_interval window;
+  window.lo = rational::from_int(static_cast<long long>(record.alpha_min));
+  window.lo_closed = record.boundary_stable && record.alpha_min > 0;
+  if (std::isinf(record.alpha_max)) {
+    window.hi = rational::infinity();
+    window.hi_closed = false;
+  } else {
+    window.hi = rational::from_int(static_cast<long long>(record.alpha_max));
+    window.hi_closed = true;
+  }
+  return window;
 }
 
 bool is_pairwise_stable(const graph& g, double alpha) {

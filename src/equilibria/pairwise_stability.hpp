@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "equilibria/alpha_interval.hpp"
 #include "graph/graph.hpp"
 
 namespace bnf {
@@ -71,6 +72,15 @@ struct stability_record {
 
 /// One-pass exact stability record (requires connected g).
 [[nodiscard]] stability_record compute_stability_record(const graph& g);
+
+/// The record as an exact alpha interval: (alpha_min, alpha_max], closed
+/// at alpha_min iff boundary_stable. The record's endpoints are integer
+/// hop-count deltas stored in doubles (or +infinity), so the conversion
+/// is lossless; membership tests on the interval reproduce stable_at
+/// exactly while composing with the interval algebra used by the census
+/// and the breakpoint enumerator. The boundary convention is documented
+/// in equilibria/alpha_interval.hpp.
+[[nodiscard]] alpha_interval to_alpha_interval(const stability_record& record);
 
 /// Direct Definition 3 check. Disconnected graphs return false: with two
 /// components some bridging pair strictly gains by linking; with three or

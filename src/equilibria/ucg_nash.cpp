@@ -1,6 +1,8 @@
 #include "equilibria/ucg_nash.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <limits>
 #include <unordered_map>
 
@@ -13,27 +15,7 @@ namespace bnf {
 
 namespace {
 
-// Distance sum from i when i's neighbourhood row is replaced by `row_i`
-// and every other vertex keeps its row from g. Stale bits pointing back
-// at i in other rows are harmless: BFS starts at i, so they can only
-// re-reach an already-visited vertex.
-std::pair<long long, int> distance_sum_with_row(const graph& g, int i,
-                                                std::uint64_t row_i) {
-  std::uint64_t visited = bit(i) | row_i;
-  long long sum = popcount(row_i);
-  std::uint64_t frontier = row_i;
-  int depth = 1;
-  while (frontier != 0) {
-    ++depth;
-    std::uint64_t next = 0;
-    for_each_bit(frontier, [&](int v) { next |= g.neighbors(v); });
-    next &= ~visited;
-    visited |= next;
-    sum += static_cast<long long>(depth) * popcount(next);
-    frontier = next;
-  }
-  return {sum, g.order() - popcount(visited)};
-}
+std::atomic<long long> nash_search_invocations{0};
 
 // Shared deviation scan: calls `on_candidate(cost, subset)` for every
 // feasible (connected) deviation subset whose lower bound does not already
@@ -143,7 +125,280 @@ struct orientation_search {
   }
 };
 
+// --- parametric (all-alpha) Nash region search ----------------------------
+
+// The exact interval of link costs at which player i, holding paid set of
+// size k_cur with the rest of its row kept by the other side, has no
+// strictly improving deviation. Every deviation subset S induces the line
+// alpha * |S| + distsum(kept | S); comparing it with the current line
+// alpha * k_cur + dist_cur yields one rational half-line constraint. All
+// constraints are weak (a tie never strictly improves), so the interval
+// is closed wherever it is bounded.
+alpha_interval player_content_interval(const graph& g, int i,
+                                       std::uint64_t kept_row, int k_cur,
+                                       long long dist_cur,
+                                       alpha_interval window) {
+  const int n = g.order();
+  // Buying a link the other side already keeps paying for leaves the row
+  // unchanged and costs alpha more, so subsets meeting kept_row are
+  // dominated by their kept-free reduction (which IS enumerated): the
+  // candidate space shrinks from 2^(n-1) to 2^(n-1-|kept|) exactly.
+  const std::uint64_t candidates = g.vertex_mask() & ~bit(i) & ~kept_row;
+
+  std::uint64_t subset = candidates;
+  while (true) {
+    const int k_dev = popcount(subset);
+    // Distance floor after the deviation: bought links plus links the
+    // other side keeps paying for are at hop 1, everyone else >= 2.
+    const int reach = popcount(subset | kept_row);
+    const long long floor_sum = reach + 2LL * (n - 1 - reach);
+    // Evaluate the BFS only when the subset's best-case constraint could
+    // still tighten the window (floor_sum is a lower bound on the true
+    // distance sum, so these are sound prunes).
+    bool maybe_binding = false;
+    if (k_dev > k_cur) {
+      const rational best{dist_cur - floor_sum, k_dev - k_cur};
+      maybe_binding = compare(best, window.lo) > 0;
+    } else if (k_dev < k_cur) {
+      const rational best{floor_sum - dist_cur, k_cur - k_dev};
+      maybe_binding = window.hi.is_infinite() || compare(best, window.hi) < 0;
+    } else {
+      maybe_binding = floor_sum < dist_cur;
+    }
+    if (maybe_binding) {
+      const auto [sum, unreached] =
+          distance_sum_with_row(g, i, kept_row | subset);
+      if (unreached == 0) {
+        if (k_dev > k_cur) {
+          if (sum < dist_cur) {
+            const rational bound =
+                rational::make(dist_cur - sum, k_dev - k_cur);
+            if (compare(bound, window.lo) > 0) {
+              window.lo = bound;
+              window.lo_closed = true;
+            }
+          }
+        } else if (k_dev < k_cur) {
+          const rational bound = rational::make(sum - dist_cur, k_cur - k_dev);
+          if (window.hi.is_infinite() || compare(bound, window.hi) < 0) {
+            window.hi = bound;
+            window.hi_closed = true;
+          }
+        } else if (sum < dist_cur) {
+          // Same link budget, strictly shorter distances: the deviation
+          // improves at EVERY link cost.
+          return alpha_interval::empty_interval();
+        }
+      }
+    }
+    if (window.empty()) return alpha_interval::empty_interval();
+    if (subset == 0) break;
+    subset = (subset - 1) & candidates;
+  }
+  return window;
+}
+
+struct interval_search {
+  const graph& g;
+  std::vector<std::pair<int, int>> edges;           // (u, v), u < v
+  std::vector<std::array<alpha_interval, 2>> buyer_window;  // per edge side
+  std::vector<std::uint64_t> paid;                  // per-player paid mask
+  std::vector<int> unassigned_incident;             // per-player countdown
+  std::vector<long long> base_distance;             // distsum_i(G)
+  std::vector<rational> addition_lb;                // max single-add saving
+  std::vector<long long> severance;                 // [i*n+v] single-cut cost
+  std::unordered_map<std::uint64_t, alpha_interval> content_memo;
+  alpha_interval_set region;
+  long long player_intervals{0};
+  long long orientations_tried{0};
+
+  alpha_interval content_interval(int i) {
+    const std::uint64_t mask = paid[static_cast<std::size_t>(i)];
+    const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | mask;
+    if (const auto it = content_memo.find(key); it != content_memo.end()) {
+      return it->second;
+    }
+    ++player_intervals;
+    ensures(player_intervals <= (1LL << 22),
+            "ucg_nash_alpha_region: player-interval budget exceeded");
+    // Seed the window with the single-flip deviations (one added or one
+    // dropped link), which were measured once up front: they are genuine
+    // constraints of the full enumeration, and starting from them lets
+    // the floor-based prune skip the BFS for most multi-link subsets.
+    alpha_interval seed;
+    seed.lo = addition_lb[static_cast<std::size_t>(i)];
+    seed.lo_closed = seed.lo.num > 0;
+    const int n = g.order();
+    for_each_bit(mask, [&](int v) {
+      const long long inc = severance[static_cast<std::size_t>(i * n + v)];
+      if (inc < infinite_delta &&
+          (seed.hi.is_infinite() || inc < seed.hi.num)) {
+        seed.hi = rational::from_int(inc);
+        seed.hi_closed = true;
+      }
+    });
+    const alpha_interval window =
+        seed.empty() ? alpha_interval::empty_interval()
+                     : player_content_interval(
+                           g, i, g.neighbors(i) & ~mask, popcount(mask),
+                           base_distance[static_cast<std::size_t>(i)], seed);
+    content_memo.emplace(key, window);
+    return window;
+  }
+
+  // Exhaustive DFS over buyer orientations. `window` is the exact set of
+  // link costs every assignment so far tolerates; completed windows union
+  // into `region`. Branches prune when the window dies or when the region
+  // already covers it — the latter is what keeps dense graphs (whose
+  // orientations are massively interchangeable) linear instead of 2^m.
+  void assign(std::size_t index, const alpha_interval& window) {
+    if (window.empty() || region.covers(window)) return;
+    if (index == edges.size()) {
+      region.add(window);
+      return;
+    }
+    ++orientations_tried;
+    ensures(orientations_tried <= (1LL << 26),
+            "ucg_nash_alpha_region: orientation budget exceeded");
+    const auto [u, v] = edges[index];
+    for (int side = 0; side < 2; ++side) {
+      const int buyer = side == 0 ? u : v;
+      const int other = side == 0 ? v : u;
+      alpha_interval next =
+          window.intersect(buyer_window[index][static_cast<std::size_t>(side)]);
+      if (next.empty()) continue;
+      paid[static_cast<std::size_t>(buyer)] |= bit(other);
+      --unassigned_incident[static_cast<std::size_t>(u)];
+      --unassigned_incident[static_cast<std::size_t>(v)];
+      if (unassigned_incident[static_cast<std::size_t>(u)] == 0) {
+        next = next.intersect(content_interval(u));
+      }
+      if (!next.empty() &&
+          unassigned_incident[static_cast<std::size_t>(v)] == 0) {
+        next = next.intersect(content_interval(v));
+      }
+      assign(index + 1, next);
+      paid[static_cast<std::size_t>(buyer)] &= ~bit(other);
+      ++unassigned_incident[static_cast<std::size_t>(u)];
+      ++unassigned_incident[static_cast<std::size_t>(v)];
+    }
+  }
+};
+
 }  // namespace
+
+ucg_region_result ucg_nash_alpha_region(const graph& g,
+                                        const alpha_interval& within) {
+  expects(g.order() >= 1 && g.order() <= 16,
+          "ucg_nash_alpha_region: guard n <= 16 (exact search)");
+  ucg_region_result result;
+  if (g.order() == 1) {
+    // A lone player buys nothing and reaches everyone: Nash at any cost.
+    result.region.add(within);
+    return result;
+  }
+  if (!is_connected(g) || within.empty()) return result;
+
+  const int n = g.order();
+  interval_search search{g, g.edges(), {}, {}, {}, {}, {}, {}, {}, {}, 0, 0};
+  search.addition_lb.assign(static_cast<std::size_t>(n), rational{0, 1});
+  search.severance.assign(static_cast<std::size_t>(n) * n, infinite_delta);
+  search.base_distance.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    search.base_distance[static_cast<std::size_t>(v)] = distance_sum(g, v).sum;
+  }
+  // Single-flip deltas via the row-replacement BFS: toggling one of i's
+  // incident links only changes i's own row, so no graph copies and no
+  // re-derived base sums are needed (the stale reverse bit in the other
+  // endpoint's row cannot shorten any path from i).
+  const auto single_flip_sum = [&](int i, std::uint64_t row) {
+    return distance_sum_with_row(g, i, row);
+  };
+
+  // Root window from the paper's fast checks, now as exact rationals:
+  // every missing link must save BOTH endpoints at most alpha (additions
+  // are unilateral), and every edge needs some endpoint whose severance
+  // saving does not exceed alpha.
+  alpha_interval root = within;
+  for (const auto& [u, v] : g.non_edges()) {
+    for (const auto& [a, b] : {std::pair{u, v}, std::pair{v, u}}) {
+      const auto [sum, unreached] =
+          single_flip_sum(a, g.neighbors(a) | bit(b));
+      ensures(unreached == 0, "ucg_nash_alpha_region: connected precondition");
+      const long long dec = search.base_distance[static_cast<std::size_t>(a)] - sum;
+      auto& lb = search.addition_lb[static_cast<std::size_t>(a)];
+      if (dec > lb.num) lb = rational::from_int(dec);
+    }
+  }
+  for (const rational& lb : search.addition_lb) {
+    // Any player's single-addition bound applies to every orientation.
+    if (lb.num > 0 && compare(lb, root.lo) > 0) {
+      root.lo = lb;
+      root.lo_closed = true;
+    }
+  }
+  if (root.empty()) return result;
+
+  search.buyer_window.reserve(search.edges.size());
+  for (const auto& [u, v] : search.edges) {
+    // A buyer tolerates its own single-link severance only while
+    // alpha <= the distance increase; bridges impose no bound.
+    std::array<alpha_interval, 2> windows;
+    rational loosest{0, 1};
+    bool loosest_infinite = false;
+    for (int side = 0; side < 2; ++side) {
+      const int buyer = side == 0 ? u : v;
+      const int other = side == 0 ? v : u;
+      const auto [sum, unreached] =
+          single_flip_sum(buyer, g.neighbors(buyer) & ~bit(other));
+      const long long inc =
+          unreached > 0
+              ? infinite_delta
+              : sum - search.base_distance[static_cast<std::size_t>(buyer)];
+      search.severance[static_cast<std::size_t>(buyer * n + other)] = inc;
+      if (inc < infinite_delta) {
+        windows[static_cast<std::size_t>(side)].hi = rational::from_int(inc);
+        if (!loosest_infinite && inc > loosest.num) {
+          loosest = rational::from_int(inc);
+        }
+      } else {
+        loosest_infinite = true;
+      }
+    }
+    search.buyer_window.push_back(windows);
+    // Whoever buys, alpha <= max of the two severance bounds.
+    if (!loosest_infinite &&
+        (root.hi.is_infinite() || compare(loosest, root.hi) < 0)) {
+      root.hi = loosest;
+      root.hi_closed = true;
+    }
+  }
+  if (root.empty()) return result;
+
+  search.paid.assign(static_cast<std::size_t>(n), 0);
+  search.unassigned_incident.assign(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    search.unassigned_incident[static_cast<std::size_t>(v)] = g.degree(v);
+  }
+  search.assign(0, root);
+  result.region = std::move(search.region);
+  result.player_intervals_computed = search.player_intervals;
+  result.orientations_tried = search.orientations_tried;
+  return result;
+}
+
+alpha_interval ucg_nash_interval(const graph& g) {
+  const ucg_region_result result = ucg_nash_alpha_region(g);
+  if (result.region.empty()) return alpha_interval::empty_interval();
+  ensures(result.region.parts().size() == 1,
+          "ucg_nash_interval: multi-component Nash region (use "
+          "ucg_nash_alpha_region)");
+  return result.region.parts().front();
+}
+
+long long ucg_nash_search_invocations() {
+  return nash_search_invocations.load();
+}
 
 double ucg_best_response_cost(const graph& g, double alpha, int i,
                               std::uint64_t paid) {
@@ -182,6 +437,7 @@ ucg_nash_result ucg_nash_supportable(const graph& g, double alpha,
   expects(g.order() >= 1 && g.order() <= 16,
           "ucg_nash_supportable: guard n <= 16 (exact search)");
   expects(alpha > 0, "ucg_nash_supportable: requires alpha > 0");
+  nash_search_invocations.fetch_add(1, std::memory_order_relaxed);
 
   ucg_nash_result result;
   if (!is_connected(g)) return result;

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "equilibria/alpha_interval.hpp"
 #include "graph/graph.hpp"
 
 namespace bnf {
@@ -59,6 +60,45 @@ struct ucg_nash_result {
 /// Convenience predicate.
 [[nodiscard]] bool is_ucg_nash(const graph& g, double alpha,
                                const ucg_nash_options& options = {});
+
+/// Process-wide count of per-alpha Nash searches (ucg_nash_supportable /
+/// is_ucg_nash invocations). Interval-driven sweeps are expected to leave
+/// this untouched — the census tests snapshot it to prove the sweep never
+/// falls back to per-grid-point searches.
+[[nodiscard]] long long ucg_nash_search_invocations();
+
+/// The exact set of link costs at which g is Nash-supportable, computed by
+/// ONE parametric pass instead of per-alpha searches. Every deviation of
+/// every player is a line alpha * k_dev + dist_dev competing with the
+/// current line alpha * k_i + dist_i, so each (player, paid-set) pair
+/// contributes an exact rational interval of link costs at which the
+/// player is content (equilibria/alpha_interval.hpp documents the
+/// closed-boundary convention). The orientation search intersects those
+/// intervals along each buyer assignment, unions the surviving windows,
+/// and prunes branches whose window is empty or already covered — so the
+/// whole alpha axis is settled in one search. Diagnostics mirror
+/// ucg_nash_result.
+struct ucg_region_result {
+  alpha_interval_set region;
+  long long player_intervals_computed{0};
+  long long orientations_tried{0};
+};
+/// `within` restricts the search to a sub-range of link costs: the result
+/// is exactly (full region) intersect `within`, but branches outside the
+/// clamp are pruned at the root — a census whose grid spans [lo, hi] pays
+/// nothing for the region beyond it. The default clamp is (0, inf), i.e.
+/// the complete region.
+[[nodiscard]] ucg_region_result ucg_nash_alpha_region(
+    const graph& g, const alpha_interval& within = {});
+
+/// The Nash region as a single exact interval. For every graph the
+/// region search has been run against (exhaustively cross-validated for
+/// n <= 6, spot-checked beyond) the region has one component; this
+/// convenience accessor asserts that and returns it (or the canonical
+/// empty interval when g is never Nash-supportable). Use
+/// ucg_nash_alpha_region directly when a multi-component region must be
+/// representable.
+[[nodiscard]] alpha_interval ucg_nash_interval(const graph& g);
 
 /// Exact best-response cost for player i against the rest of the graph:
 /// min over subsets S of alpha*|S| + distance sum when i's paid links are

@@ -55,6 +55,30 @@ distance_summary distance_sum(const graph& g, int src) {
   return summary;
 }
 
+distance_summary distance_sum_with_row(const graph& g, int src,
+                                       std::uint64_t row_src) {
+  expects(src >= 0 && src < g.order(),
+          "distance_sum_with_row: source out of range");
+  expects((row_src & (~g.vertex_mask() | bit(src))) == 0,
+          "distance_sum_with_row: bad replacement row");
+  distance_summary summary;
+  std::uint64_t visited = bit(src) | row_src;
+  summary.sum = popcount(row_src);
+  std::uint64_t frontier = row_src;
+  int depth = 1;
+  while (frontier != 0) {
+    ++depth;
+    std::uint64_t next = 0;
+    for_each_bit(frontier, [&](int v) { next |= g.neighbors(v); });
+    next &= ~visited;
+    visited |= next;
+    summary.sum += static_cast<long long>(depth) * popcount(next);
+    frontier = next;
+  }
+  summary.unreached = g.order() - popcount(visited);
+  return summary;
+}
+
 distance_matrix::distance_matrix(const graph& g) : n_(g.order()) {
   cells_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
                 static_cast<std::int8_t>(unreachable_distance));

@@ -35,6 +35,16 @@ distance_summary bfs_distances(const graph& g, int src,
 /// without materializing the distance vector.
 [[nodiscard]] distance_summary distance_sum(const graph& g, int src);
 
+/// distance_sum from src when src's neighbourhood row is replaced by
+/// `row_src` and every other vertex keeps its row from g — the one-sided
+/// deviation primitive of both games (toggling links incident to src
+/// changes only src's row). Stale bits pointing back at src in other
+/// rows are harmless: BFS starts at src, so they can only re-reach an
+/// already-visited vertex. Requires row_src to avoid bit(src) and stay
+/// within the vertex mask.
+[[nodiscard]] distance_summary distance_sum_with_row(const graph& g, int src,
+                                                     std::uint64_t row_src);
+
 /// Dense all-pairs distance matrix (BFS from every source).
 class distance_matrix {
  public:

@@ -5,6 +5,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <type_traits>
 
 namespace bnf {
 
@@ -43,16 +44,27 @@ constexpr void for_each_bit(std::uint64_t mask, Fn&& fn) {
   }
 }
 
-/// Call `fn(sub)` for every subset `sub` of `mask` (including 0 and mask).
-/// Visits 2^popcount(mask) subsets in the standard descending-subset order.
+/// Call `fn(sub)` for every subset `sub` of `mask` (including 0 and mask)
+/// in the standard descending-subset order. Two callback shapes:
+///   * `void fn(std::uint64_t)` — visits all 2^popcount(mask) subsets;
+///     the traversal returns false.
+///   * `bool fn(std::uint64_t)` — returning true stops the traversal
+///     early (the subset-search equivalent of `break`); the traversal
+///     returns true iff it was stopped. The equilibrium checkers use this
+///     to bail out of 2^deg enumerations at the first witness deviation.
 template <typename Fn>
-constexpr void for_each_subset(std::uint64_t mask, Fn&& fn) {
+constexpr bool for_each_subset(std::uint64_t mask, Fn&& fn) {
   std::uint64_t sub = mask;
   while (true) {
-    fn(sub);
+    if constexpr (std::is_void_v<std::invoke_result_t<Fn&, std::uint64_t>>) {
+      fn(sub);
+    } else {
+      if (fn(sub)) return true;
+    }
     if (sub == 0) break;
     sub = (sub - 1) & mask;
   }
+  return false;
 }
 
 }  // namespace bnf

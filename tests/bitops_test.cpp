@@ -81,5 +81,40 @@ TEST(BitopsTest, ForEachSubsetOfZeroVisitsOnlyEmpty) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(BitopsTest, ForEachSubsetVoidCallbackReturnsFalse) {
+  EXPECT_FALSE(for_each_subset(bit(0) | bit(1), [](std::uint64_t) {}));
+}
+
+TEST(BitopsTest, ForEachSubsetBoolCallbackStopsEarly) {
+  const std::uint64_t mask = bit(0) | bit(2) | bit(5);
+  int calls = 0;
+  const bool stopped = for_each_subset(mask, [&](std::uint64_t sub) {
+    ++calls;
+    return popcount(sub) == 2;  // first 2-element subset ends the walk
+  });
+  EXPECT_TRUE(stopped);
+  EXPECT_LT(calls, 8);  // strictly fewer than the full power set
+  // The descending order opens with the full mask, then the first
+  // 2-element subset: exactly two calls.
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(BitopsTest, ForEachSubsetBoolCallbackExhaustsWhenNeverStopped) {
+  int calls = 0;
+  const bool stopped = for_each_subset(bit(1) | bit(3), [&](std::uint64_t) {
+    ++calls;
+    return false;
+  });
+  EXPECT_FALSE(stopped);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(BitopsTest, ForEachSubsetStopOnLastSubsetStillReportsStopped) {
+  // The empty subset is visited last; stopping there must still count.
+  const bool stopped = for_each_subset(
+      bit(0) | bit(4), [&](std::uint64_t sub) { return sub == 0; });
+  EXPECT_TRUE(stopped);
+}
+
 }  // namespace
 }  // namespace bnf

@@ -5,6 +5,7 @@
 #include <array>
 #include <cmath>
 
+#include "analysis/sweep.hpp"
 #include "equilibria/pairwise_stability.hpp"
 #include "equilibria/ucg_nash.hpp"
 #include "game/efficiency.hpp"
@@ -118,6 +119,63 @@ TEST(CensusTest, RecordsCarryExactInvariants) {
     EXPECT_DOUBLE_EQ(record.bcg.alpha_min, direct.alpha_min);
     EXPECT_DOUBLE_EQ(record.bcg.alpha_max, direct.alpha_max);
     EXPECT_EQ(record.bcg.boundary_stable, direct.boundary_stable);
+  }
+}
+
+TEST(CensusTest, RecordsCarryBothGamesExactIntervals) {
+  const auto records = build_census_records(6);
+  for (const auto& record : records) {
+    const graph g = graph::from_key64(6, record.key);
+    // The BCG interval reproduces stable_at decisions at every probe.
+    for (const double alpha : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 7.0, 16.0}) {
+      EXPECT_EQ(record.bcg_interval.contains(alpha),
+                record.bcg.stable_at(alpha))
+          << to_string(g) << " alpha=" << alpha;
+    }
+    // The UCG region matches the per-alpha search off the tie tolerance.
+    for (const double alpha : {0.4, 0.9, 1.3, 2.2, 4.7, 9.5}) {
+      EXPECT_EQ(record.ucg.contains(alpha), is_ucg_nash(g, alpha))
+          << to_string(g) << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(CensusTest, SweepNeverRunsPerAlphaNashSearches) {
+  // The interval-driven sweep performs ONE stability analysis per
+  // topology; the per-alpha orientation search must not run at all (the
+  // acceptance bar is "at most once per topology" — this pins zero).
+  const auto taus = default_tau_grid(7);
+  const long long before = ucg_nash_search_invocations();
+  const auto points = census_sweep(7, taus, {.include_ucg = true});
+  const long long after = ucg_nash_search_invocations();
+  EXPECT_EQ(after - before, 0);
+  EXPECT_EQ(points.size(), taus.size());
+}
+
+TEST(CensusTest, DefaultGridCountsMatchBruteForceAfterEpsRemoval) {
+  // Guard for deleting the census's ucg_filter_eps slack: on the default
+  // tau grids the exact interval census and the eps-tolerant per-alpha
+  // checkers classify every (topology, grid point) identically, for both
+  // games. n <= 6 keeps the brute force cheap; the grid spans the full
+  // default range used by the figures.
+  for (int n = 5; n <= 6; ++n) {
+    const auto taus = default_tau_grid(n);
+    const auto points = census_sweep(n, taus, {.include_ucg = true});
+    for (std::size_t t = 0; t < taus.size(); ++t) {
+      long long bcg_direct = 0;
+      long long ucg_direct = 0;
+      for_each_graph(
+          n,
+          [&](const graph& g) {
+            if (is_pairwise_stable(g, taus[t] / 2.0)) ++bcg_direct;
+            if (is_ucg_nash(g, taus[t])) ++ucg_direct;
+          },
+          {.connected_only = true});
+      EXPECT_EQ(points[t].bcg.count, bcg_direct) << "n=" << n
+                                                 << " tau=" << taus[t];
+      EXPECT_EQ(points[t].ucg.count, ucg_direct) << "n=" << n
+                                                 << " tau=" << taus[t];
+    }
   }
 }
 

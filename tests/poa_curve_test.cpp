@@ -1,0 +1,120 @@
+// The breakpoint enumerator: exactness of the piecewise census. Between
+// consecutive breakpoints the equilibrium sets must be constant, every
+// grid evaluation must match the census sweep, and the n=5 breakpoint
+// list is pinned as a golden value (the CI job diffs the same list from
+// `bilatnet run poa-curve --n 5`).
+#include "analysis/poa_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+#include "util/contracts.hpp"
+
+namespace bnf {
+namespace {
+
+TEST(PoaCurveTest, GridEvaluationMatchesCensusSweepAtEveryGridPoint) {
+  const int n = 6;
+  const poa_curve curve = build_poa_curve(n);
+  const auto taus = default_tau_grid(n);
+  const auto points = census_sweep(n, taus, {.include_ucg = true});
+  for (std::size_t t = 0; t < taus.size(); ++t) {
+    const census_point from_curve = evaluate_poa_curve(curve, taus[t]);
+    EXPECT_EQ(from_curve.bcg.count, points[t].bcg.count) << taus[t];
+    EXPECT_EQ(from_curve.ucg.count, points[t].ucg.count) << taus[t];
+    EXPECT_DOUBLE_EQ(from_curve.bcg.max_poa, points[t].bcg.max_poa);
+    EXPECT_DOUBLE_EQ(from_curve.ucg.max_poa, points[t].ucg.max_poa);
+    EXPECT_NEAR(from_curve.bcg.avg_poa, points[t].bcg.avg_poa, 1e-12);
+    EXPECT_NEAR(from_curve.ucg.avg_poa, points[t].ucg.avg_poa, 1e-12);
+    EXPECT_NEAR(from_curve.bcg.avg_edges, points[t].bcg.avg_edges, 1e-12);
+    EXPECT_NEAR(from_curve.ucg.avg_edges, points[t].ucg.avg_edges, 1e-12);
+  }
+}
+
+TEST(PoaCurveTest, EquilibriumSetsAreConstantOnEverySegment) {
+  const poa_curve curve = build_poa_curve(5);
+  for (std::size_t s = 0; s <= curve.breakpoints.size(); ++s) {
+    const rational probe = poa_curve_segment_probe(curve, s);
+    // A second interior probe: nudge toward the segment's right end (or
+    // just further right on the unbounded tail).
+    const rational other =
+        s < curve.breakpoints.size()
+            ? midpoint(probe, curve.breakpoints[s].tau)
+            : rational::make(probe.num + probe.den, probe.den);
+    const census_point a = evaluate_poa_curve(curve, probe);
+    const census_point b = evaluate_poa_curve(curve, other);
+    EXPECT_EQ(a.bcg.count, b.bcg.count) << "segment " << s;
+    EXPECT_EQ(a.ucg.count, b.ucg.count) << "segment " << s;
+    EXPECT_NEAR(a.bcg.avg_edges, b.bcg.avg_edges, 1e-12) << "segment " << s;
+    EXPECT_NEAR(a.ucg.avg_edges, b.ucg.avg_edges, 1e-12) << "segment " << s;
+  }
+}
+
+TEST(PoaCurveTest, N5BreakpointsAreGolden) {
+  // Mirrors tests/data/poa_curve_n5_breakpoints.csv (the CI golden).
+  const poa_curve curve = build_poa_curve(5);
+  const std::vector<std::string> expected_tau = {"1", "2", "3", "4", "8"};
+  const std::vector<std::string> expected_games = {"ucg", "bcg+ucg", "ucg",
+                                                   "bcg+ucg", "bcg"};
+  ASSERT_EQ(curve.breakpoints.size(), expected_tau.size());
+  for (std::size_t i = 0; i < expected_tau.size(); ++i) {
+    EXPECT_EQ(to_string(curve.breakpoints[i].tau), expected_tau[i]) << i;
+    std::string games;
+    if (curve.breakpoints[i].from_bcg) games += "bcg";
+    if (curve.breakpoints[i].from_ucg) games += games.empty() ? "ucg" : "+ucg";
+    EXPECT_EQ(games, expected_games[i]) << i;
+  }
+}
+
+TEST(PoaCurveTest, BreakpointMembershipUsesClosedBoundaries) {
+  // n=5 at tau exactly 1 (alpha_UCG = 1): the UCG's massive indifference
+  // tie — every one of the 15 topologies whose interval touches 1 counts,
+  // versus 1 (the clique) just below and 3 just above.
+  const poa_curve curve = build_poa_curve(5);
+  const census_point at_one = evaluate_poa_curve(curve, rational::from_int(1));
+  const census_point below = evaluate_poa_curve(curve, rational::make(9, 10));
+  const census_point above = evaluate_poa_curve(curve, rational::make(11, 10));
+  EXPECT_EQ(at_one.ucg.count, 15);
+  EXPECT_EQ(below.ucg.count, 1);
+  EXPECT_EQ(above.ucg.count, 3);
+}
+
+TEST(PoaCurveTest, RationalAndDoubleEvaluationsAgree) {
+  const poa_curve curve = build_poa_curve(5);
+  for (const double tau : {0.53, 1.5, 2.75, 6.0, 33.92}) {
+    const census_point via_double = evaluate_poa_curve(curve, tau);
+    const census_point via_rational =
+        evaluate_poa_curve(curve, exact_rational(tau));
+    EXPECT_EQ(via_double.bcg.count, via_rational.bcg.count) << tau;
+    EXPECT_EQ(via_double.ucg.count, via_rational.ucg.count) << tau;
+  }
+}
+
+TEST(PoaCurveTest, BcgOnlyCurveHasNoUcgBreakpoints) {
+  const poa_curve curve = build_poa_curve(5, {.include_ucg = false});
+  EXPECT_FALSE(curve.breakpoints.empty());
+  for (const poa_breakpoint& entry : curve.breakpoints) {
+    EXPECT_TRUE(entry.from_bcg);
+    EXPECT_FALSE(entry.from_ucg);
+  }
+  const census_point probe = evaluate_poa_curve(curve, 4.0);
+  EXPECT_EQ(probe.ucg.count, 0);
+  EXPECT_GT(probe.bcg.count, 0);
+}
+
+TEST(PoaCurveTest, Preconditions) {
+  EXPECT_THROW((void)build_poa_curve(9), precondition_error);
+  const poa_curve curve = build_poa_curve(4);
+  EXPECT_THROW((void)evaluate_poa_curve(curve, -1.0), precondition_error);
+  EXPECT_THROW((void)evaluate_poa_curve(curve, rational::from_int(0)),
+               precondition_error);
+  EXPECT_THROW(
+      (void)poa_curve_segment_probe(curve, curve.breakpoints.size() + 1),
+      precondition_error);
+}
+
+}  // namespace
+}  // namespace bnf

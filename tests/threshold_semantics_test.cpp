@@ -1,0 +1,167 @@
+// Regression suite for the boundary / tie convention at EXACT equilibrium
+// thresholds (documented in equilibria/alpha_interval.hpp):
+//
+//   * deviations block only when STRICTLY improving, so equilibrium
+//     regions are closed at deviation thresholds (BCG severance alpha_max,
+//     UCG interval endpoints, bundle thresholds alpha = inc/|B|);
+//   * the single open boundary is the BCG addition threshold alpha_min
+//     when an attaining missing link has asymmetric savings (one endpoint
+//     strictly gains while the other is merely indifferent).
+//
+// Every probe below is an exactly representable double (BCG hop-count
+// deltas are integers; the sampled UCG endpoints are dyadic), so these
+// tests pin the semantics AT the threshold, not near it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "equilibria/pairwise_nash.hpp"
+#include "equilibria/pairwise_stability.hpp"
+#include "equilibria/ucg_nash.hpp"
+#include "gen/enumerate.hpp"
+#include "gen/named.hpp"
+#include "graph/graph.hpp"
+
+namespace bnf {
+namespace {
+
+bool exactly_representable(const rational& r) {
+  return !r.is_infinite() && (r.den & (r.den - 1)) == 0;
+}
+
+TEST(ThresholdSemanticsTest, StarIsStableExactlyAtItsSymmetricBoundary) {
+  // Every missing leaf-leaf link saves BOTH endpoints exactly 1 hop, so
+  // at alpha == alpha_min == 1 nobody strictly gains: the boundary is
+  // closed (boundary_stable) and Definition 3 agrees.
+  for (int n = 4; n <= 7; ++n) {
+    const graph hub = star(n);
+    const stability_record record = compute_stability_record(hub);
+    EXPECT_EQ(record.alpha_min, 1.0);
+    EXPECT_TRUE(record.boundary_stable);
+    EXPECT_TRUE(std::isinf(record.alpha_max));  // all edges are bridges
+    EXPECT_TRUE(is_pairwise_stable(hub, 1.0));
+    EXPECT_TRUE(record.stable_at(1.0));
+    EXPECT_TRUE(to_alpha_interval(record).contains(1.0));
+    // Strictly below the boundary the leaf pair blocks.
+    EXPECT_FALSE(is_pairwise_stable(hub, 0.5));
+    EXPECT_FALSE(to_alpha_interval(record).contains(0.5));
+  }
+}
+
+TEST(ThresholdSemanticsTest, PathHitsItsIntegerBoundaryExactly) {
+  // path(4): the end-to-end pair (0,3) saves 2 hops on each side, so
+  // alpha_min = 2 with symmetric savings: stable at exactly 2.
+  const graph line = path(4);
+  const stability_record record = compute_stability_record(line);
+  EXPECT_EQ(record.alpha_min, 2.0);
+  EXPECT_TRUE(record.boundary_stable);
+  EXPECT_TRUE(is_pairwise_stable(line, 2.0));
+  EXPECT_FALSE(is_pairwise_stable(line, std::ldexp(2.0, 0) - 0.25));
+}
+
+TEST(ThresholdSemanticsTest, AsymmetricSavingsOpenTheAdditionBoundary) {
+  // Exhaustive check of the ONE open case: wherever boundary_stable is
+  // false some attaining link has asymmetric savings and the pair blocks
+  // at exactly alpha_min; wherever it is true, ties never block. All
+  // three formulations (record, interval, Definition 3) must agree at
+  // the exact integer threshold.
+  long long open_cases = 0;
+  long long closed_cases = 0;
+  for (int n = 4; n <= 6; ++n) {
+    for_each_graph(
+        n,
+        [&](const graph& g) {
+          const stability_record record = compute_stability_record(g);
+          if (record.alpha_min <= 0 || std::isinf(record.alpha_min)) return;
+          const double at_min = record.alpha_min;  // exact integer double
+          if (at_min > record.alpha_max) return;
+          (record.boundary_stable ? closed_cases : open_cases) += 1;
+          ASSERT_EQ(record.stable_at(at_min), record.boundary_stable)
+              << to_string(g);
+          ASSERT_EQ(to_alpha_interval(record).contains(at_min),
+                    record.boundary_stable)
+              << to_string(g);
+          ASSERT_EQ(is_pairwise_stable(g, at_min), record.boundary_stable)
+              << to_string(g);
+          if (!record.boundary_stable) {
+            const auto violation = find_stability_violation(g, at_min);
+            ASSERT_TRUE(violation.has_value()) << to_string(g);
+            ASSERT_EQ(violation->type, stability_violation::kind::addition)
+                << to_string(g);
+          }
+        },
+        {.connected_only = true});
+  }
+  // Both boundary flavours genuinely occur on n <= 6.
+  EXPECT_GT(open_cases, 0);
+  EXPECT_GT(closed_cases, 0);
+}
+
+TEST(ThresholdSemanticsTest, SeveranceBoundaryIsClosed) {
+  // cycle(5): severing one link costs 4 extra hops (|B| = 1, inc = 4),
+  // so alpha_max = 4 and the cycle is stable at EXACTLY 4: the severance
+  // tie does not block. Just above, it does.
+  const graph ring = cycle(5);
+  const stability_record record = compute_stability_record(ring);
+  EXPECT_EQ(record.alpha_max, 4.0);
+  EXPECT_TRUE(is_pairwise_stable(ring, 4.0));
+  EXPECT_TRUE(record.stable_at(4.0));
+  EXPECT_TRUE(to_alpha_interval(record).contains(4.0));
+  EXPECT_FALSE(is_pairwise_stable(ring, 4.5));
+  const auto violation = find_stability_violation(ring, 4.5);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->type, stability_violation::kind::severance);
+}
+
+TEST(ThresholdSemanticsTest, BundleThresholdTiesDoNotBlockBcgNash) {
+  // K4: dropping a 2-link bundle saves 2*alpha and costs 2 extra hops,
+  // so alpha = inc/|B| = 1 is a tie for EVERY bundle size — the complete
+  // graph is Nash-supported at exactly 1 but not above.
+  const graph clique = complete(4);
+  EXPECT_TRUE(is_bcg_nash_supported(clique, 1.0));
+  EXPECT_TRUE(is_pairwise_nash(clique, 1.0));
+  EXPECT_FALSE(is_bcg_nash_supported(clique, 1.5));
+  // cycle(5) at its single-severance threshold inc/1 = 4: same story.
+  EXPECT_TRUE(is_bcg_nash_supported(cycle(5), 4.0));
+  EXPECT_FALSE(is_bcg_nash_supported(cycle(5), 4.5));
+}
+
+TEST(ThresholdSemanticsTest, BlockingPairConventionMatchesProposition1) {
+  // The blocking-pair test (dec_u > alpha && dec_v >= alpha) is shared by
+  // find_stability_violation and is_pairwise_nash; Proposition 1 says the
+  // two predicates coincide — including AT every exact integer threshold
+  // of every graph on n <= 5.
+  for (int n = 3; n <= 5; ++n) {
+    for_each_graph(
+        n,
+        [&](const graph& g) {
+          const stability_record record = compute_stability_record(g);
+          for (double probe : {record.alpha_min, record.alpha_max,
+                               record.alpha_min + 1.0}) {
+            if (!(probe > 0) || std::isinf(probe)) continue;
+            ASSERT_EQ(is_pairwise_stable(g, probe), is_pairwise_nash(g, probe))
+                << to_string(g) << " alpha=" << probe;
+          }
+        },
+        {.connected_only = true});
+  }
+}
+
+TEST(ThresholdSemanticsTest, UcgEndpointsAreClosedAndHitExactly) {
+  // Closed UCG thresholds at exactly representable endpoints: the
+  // defining deviation ties there, and ties keep the equilibrium.
+  const alpha_interval clique = ucg_nash_interval(complete(6));
+  ASSERT_TRUE(exactly_representable(clique.hi));
+  EXPECT_TRUE(clique.hi_closed);
+  EXPECT_TRUE(is_ucg_nash(complete(6), clique.hi.to_double()));
+  EXPECT_FALSE(is_ucg_nash(complete(6), clique.hi.to_double() + 0.5));
+
+  const alpha_interval hub = ucg_nash_interval(star(7));
+  ASSERT_TRUE(exactly_representable(hub.lo));
+  EXPECT_TRUE(hub.lo_closed);
+  EXPECT_TRUE(is_ucg_nash(star(7), hub.lo.to_double()));
+  EXPECT_FALSE(is_ucg_nash(star(7), hub.lo.to_double() - 0.25));
+}
+
+}  // namespace
+}  // namespace bnf
