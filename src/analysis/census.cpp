@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "analysis/topology_profile.hpp"
 #include "equilibria/ucg_nash.hpp"
 #include "game/connection_game.hpp"
 #include "game/efficiency.hpp"
@@ -12,68 +13,6 @@
 #include "util/thread_pool.hpp"
 
 namespace bnf {
-
-namespace {
-
-// Everything alpha-independent about one topology, computed in one pass:
-// the exact equilibrium certificates of both games plus the integer
-// ingredients of the social cost line alpha * edges + distance_total.
-struct graph_profile {
-  int edges{0};
-  long long distance_total{0};
-  stability_record bcg;
-  alpha_interval bcg_interval;
-  alpha_interval_set ucg;
-};
-
-graph_profile profile_graph(const graph& g, bool include_ucg,
-                            const alpha_interval& ucg_clamp) {
-  graph_profile profile;
-  profile.edges = g.size();
-  profile.distance_total = total_distance(g).sum;
-  profile.bcg = compute_stability_record(g);
-  profile.bcg_interval = to_alpha_interval(profile.bcg);
-  if (include_ucg) {
-    profile.ucg = ucg_nash_alpha_region(g, ucg_clamp).region;
-  }
-  return profile;
-}
-
-struct accumulator_cell {
-  long long count{0};
-  double poa_sum{0.0};
-  double poa_max{0.0};
-  double poa_min{std::numeric_limits<double>::infinity()};
-  double edge_sum{0.0};
-
-  void add(double poa, int edges) {
-    ++count;
-    poa_sum += poa;
-    poa_max = std::max(poa_max, poa);
-    poa_min = std::min(poa_min, poa);
-    edge_sum += edges;
-  }
-  void merge(const accumulator_cell& other) {
-    count += other.count;
-    poa_sum += other.poa_sum;
-    poa_max = std::max(poa_max, other.poa_max);
-    poa_min = std::min(poa_min, other.poa_min);
-    edge_sum += other.edge_sum;
-  }
-  [[nodiscard]] equilibrium_set_stats stats() const {
-    equilibrium_set_stats result;
-    result.count = count;
-    result.max_poa = poa_max;
-    if (count > 0) {
-      result.min_poa = poa_min;
-      result.avg_poa = poa_sum / static_cast<double>(count);
-      result.avg_edges = edge_sum / static_cast<double>(count);
-    }
-    return result;
-  }
-};
-
-}  // namespace
 
 std::vector<census_point> census_sweep(int n, std::span<const double> taus,
                                        const census_options& options) {
@@ -115,20 +54,22 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
                  true, true};
   }
 
-  // Sharding is FIXED (independent of the thread count) and shards are
-  // merged sequentially in shard order, so the floating-point sums — and
-  // hence every downstream table and JSONL byte — are identical whether
-  // the sweep runs on 1 thread or 64.
+  // Sharding is FIXED (independent of the thread count) and the exact
+  // accumulator is associative, so every downstream table and JSONL byte
+  // is identical whether the sweep runs on 1 thread or 64.
   const std::size_t shard_count = std::min<std::size_t>(keys.size(), 128);
-  std::vector<std::vector<accumulator_cell>> bcg_shard(
-      shard_count, std::vector<accumulator_cell>(grid));
-  std::vector<std::vector<accumulator_cell>> ucg_shard(
-      shard_count, std::vector<accumulator_cell>(grid));
+  std::vector<std::vector<equilibrium_accumulator>> bcg_shard(
+      shard_count, std::vector<equilibrium_accumulator>(grid));
+  std::vector<std::vector<equilibrium_accumulator>> ucg_shard(
+      shard_count, std::vector<equilibrium_accumulator>(grid));
 
   const int threads =
       options.threads > 0 ? options.threads : default_thread_count();
   parallel_for_chunks(shard_count, threads, [&](std::size_t shard_begin,
                                                 std::size_t shard_end) {
+    // One region-search arena per worker chunk: every topology in these
+    // shards reuses the same DFS scratch (ROADMAP micro-opt).
+    ucg_region_workspace scratch;
     for (std::size_t shard = shard_begin; shard < shard_end; ++shard) {
       const std::size_t lo = shard * keys.size() / shard_count;
       const std::size_t hi = (shard + 1) * keys.size() / shard_count;
@@ -139,15 +80,16 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
         // ONE stability analysis per topology; the grid loop below is
         // pure exact interval membership, so the sweep's cost does not
         // depend on how fine the tau grid is.
-        const graph_profile profile =
-            profile_graph(g, options.include_ucg, ucg_clamp);
+        const topology_profile profile =
+            profile_topology(g, options.include_ucg, ucg_clamp, scratch);
 
         for (std::size_t t = 0; t < grid; ++t) {
           if (profile.bcg_interval.contains(alpha_bcg_exact[t])) {
             const double alpha_bcg = taus[t] / 2.0;
             const double social = 2.0 * alpha_bcg * profile.edges +
                                   static_cast<double>(profile.distance_total);
-            bcg_local[t].add(social / opt_bcg[t], profile.edges);
+            bcg_local[t].add(social / opt_bcg[t], profile.edges,
+                             profile.distance_total);
           }
           if (options.include_ucg) {
             if (profile.ucg.contains(alpha_ucg_exact[t])) {
@@ -155,7 +97,8 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
               const double social =
                   alpha_ucg * profile.edges +
                   static_cast<double>(profile.distance_total);
-              ucg_local[t].add(social / opt_ucg[t], profile.edges);
+              ucg_local[t].add(social / opt_ucg[t], profile.edges,
+                               profile.distance_total);
             }
           }
         }
@@ -163,8 +106,8 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
     }
   });
 
-  std::vector<accumulator_cell> bcg_total(grid);
-  std::vector<accumulator_cell> ucg_total(grid);
+  std::vector<equilibrium_accumulator> bcg_total(grid);
+  std::vector<equilibrium_accumulator> ucg_total(grid);
   for (std::size_t shard = 0; shard < shard_count; ++shard) {
     for (std::size_t t = 0; t < grid; ++t) {
       bcg_total[t].merge(bcg_shard[shard][t]);
@@ -177,8 +120,8 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
     points[t].tau = taus[t];
     points[t].alpha_bcg = taus[t] / 2.0;
     points[t].alpha_ucg = taus[t];
-    points[t].bcg = bcg_total[t].stats();
-    points[t].ucg = ucg_total[t].stats();
+    points[t].bcg = bcg_total[t].stats(taus[t], opt_bcg[t]);
+    points[t].ucg = ucg_total[t].stats(taus[t], opt_ucg[t]);
   }
   return points;
 }
@@ -186,7 +129,8 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
 std::vector<census_graph_record> build_census_records(
     int n, const census_options& options) {
   expects(n >= 2 && n <= 8,
-          "build_census_records: materialized records guard n <= 8");
+          "build_census_records: materialized records guard n <= 8 (use "
+          "stream_poa_curve beyond)");
   const auto keys = all_graph_keys(n, {.connected_only = true,
                                        .threads = options.threads});
   std::vector<census_graph_record> records(keys.size());
@@ -195,13 +139,15 @@ std::vector<census_graph_record> build_census_records(
       options.threads > 0 ? options.threads : default_thread_count();
   parallel_for_chunks(keys.size(), threads,
                       [&](std::size_t begin, std::size_t end) {
+                        ucg_region_workspace scratch;
                         for (std::size_t i = begin; i < end; ++i) {
                           const graph g = graph::from_key64(n, keys[i]);
                           // Records keep the FULL region (no clamp): they
                           // back the breakpoint enumerator, which needs
                           // every threshold.
-                          graph_profile profile = profile_graph(
-                              g, options.include_ucg, alpha_interval{});
+                          topology_profile profile = profile_topology(
+                              g, options.include_ucg, alpha_interval{},
+                              scratch);
                           records[i] = census_graph_record{
                               keys[i],
                               profile.edges,

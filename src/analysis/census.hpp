@@ -23,20 +23,12 @@
 #include <span>
 #include <vector>
 
+#include "analysis/accumulator.hpp"
 #include "equilibria/alpha_interval.hpp"
 #include "equilibria/pairwise_stability.hpp"
 #include "graph/graph.hpp"
 
 namespace bnf {
-
-/// Aggregates over one game's equilibrium set at one link cost.
-struct equilibrium_set_stats {
-  long long count{0};
-  double avg_poa{0.0};
-  double max_poa{0.0};  // price of anarchy (worst equilibrium)
-  double min_poa{0.0};  // price of stability (best equilibrium)
-  double avg_edges{0.0};
-};
 
 /// One grid point of the census sweep.
 struct census_point {
@@ -63,6 +55,9 @@ struct census_options {
 /// Per-topology census record for small n (<= 8): everything needed to
 /// re-derive both games' equilibrium sets at ANY link cost — grid point
 /// or exact rational breakpoint — without touching the graph again.
+/// Larger n (up to 10, the paper's setting) goes through the streaming
+/// engine in analysis/poa_curve.hpp, which aggregates the same profiles
+/// without materializing per-topology records.
 struct census_graph_record {
   std::uint64_t key{0};  // canonical key (order implied by the census)
   int edges{0};

@@ -1,48 +1,24 @@
 #include "analysis/poa_curve.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <span>
+#include <unordered_map>
+#include <utility>
 
+#include "analysis/topology_profile.hpp"
 #include "game/connection_game.hpp"
 #include "game/efficiency.hpp"
+#include "gen/enumerate.hpp"
 #include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bnf {
 
 namespace {
 
-// Same aggregation the census sweep performs per grid point (kept local:
-// the census's accumulator also carries shard-merge plumbing).
-struct stats_accumulator {
-  long long count{0};
-  double poa_sum{0.0};
-  double poa_max{0.0};
-  double poa_min{std::numeric_limits<double>::infinity()};
-  double edge_sum{0.0};
-
-  void add(double poa, int edges) {
-    ++count;
-    poa_sum += poa;
-    poa_max = std::max(poa_max, poa);
-    poa_min = std::min(poa_min, poa);
-    edge_sum += edges;
-  }
-  [[nodiscard]] equilibrium_set_stats stats() const {
-    equilibrium_set_stats result;
-    result.count = count;
-    result.max_poa = poa_max;
-    if (count > 0) {
-      result.min_poa = poa_min;
-      result.avg_poa = poa_sum / static_cast<double>(count);
-      result.avg_edges = edge_sum / static_cast<double>(count);
-    }
-    return result;
-  }
-};
-
 // Membership is exact (rational or exact-double comparisons); only the
-// aggregated statistics are evaluated in floating point, with the same
-// expressions the census sweep uses.
+// aggregated statistics are evaluated in floating point, through the one
+// shared accumulator the census sweep and the streaming engine also use.
 template <typename Alpha>
 census_point evaluate_at(const poa_curve& curve, const Alpha& alpha_bcg,
                          const Alpha& alpha_ucg, double alpha_bcg_value,
@@ -55,22 +31,23 @@ census_point evaluate_at(const poa_curve& curve, const Alpha& alpha_bcg,
       connection_game{curve.n, alpha_bcg_value, link_rule::bilateral});
   const double opt_ucg = optimal_social_cost(
       connection_game{curve.n, alpha_ucg_value, link_rule::unilateral});
-  stats_accumulator bcg;
-  stats_accumulator ucg;
+  const double bcg_edge_cost = 2.0 * alpha_bcg_value;
+  equilibrium_accumulator bcg;
+  equilibrium_accumulator ucg;
   for (const census_graph_record& record : curve.records) {
     if (record.bcg_interval.contains(alpha_bcg)) {
-      const double social = 2.0 * alpha_bcg_value * record.edges +
+      const double social = bcg_edge_cost * record.edges +
                             static_cast<double>(record.distance_total);
-      bcg.add(social / opt_bcg, record.edges);
+      bcg.add(social / opt_bcg, record.edges, record.distance_total);
     }
     if (record.ucg.contains(alpha_ucg)) {
       const double social = alpha_ucg_value * record.edges +
                             static_cast<double>(record.distance_total);
-      ucg.add(social / opt_ucg, record.edges);
+      ucg.add(social / opt_ucg, record.edges, record.distance_total);
     }
   }
-  point.bcg = bcg.stats();
-  point.ucg = ucg.stats();
+  point.bcg = bcg.stats(bcg_edge_cost, opt_bcg);
+  point.ucg = ucg.stats(alpha_ucg_value, opt_ucg);
   return point;
 }
 
@@ -84,7 +61,60 @@ void note_breakpoint(std::vector<poa_breakpoint>& breakpoints,
 /// BCG thresholds live in alpha_BCG = tau / 2 units; fold into tau.
 rational doubled(const rational& alpha) {
   if (alpha.is_infinite()) return alpha;
-  return rational::make(2 * alpha.num, alpha.den);
+  return rational::make(checked_mul(2, alpha.num), alpha.den);
+}
+
+/// Both pipelines collect thresholds through this one helper, so the
+/// breakpoint set of the streaming engine is definitionally the set the
+/// record path produces.
+void note_profile_breakpoints(std::vector<poa_breakpoint>& raw,
+                              const alpha_interval& bcg_interval,
+                              const alpha_interval_set& ucg) {
+  if (!bcg_interval.empty()) {
+    note_breakpoint(raw, doubled(bcg_interval.lo), true);
+    note_breakpoint(raw, doubled(bcg_interval.hi), true);
+  }
+  for (const alpha_interval& part : ucg.parts()) {
+    note_breakpoint(raw, part.lo, false);
+    note_breakpoint(raw, part.hi, false);
+  }
+}
+
+/// Sort by tau and collapse duplicates, OR-ing the game flags. The result
+/// depends only on the SET of noted thresholds, so any sharding of the
+/// collection phase merges to the same list.
+std::vector<poa_breakpoint> merge_breakpoints(std::vector<poa_breakpoint> raw) {
+  std::sort(raw.begin(), raw.end(),
+            [](const poa_breakpoint& a, const poa_breakpoint& b) {
+              return a.tau < b.tau;
+            });
+  std::vector<poa_breakpoint> merged;
+  for (const poa_breakpoint& entry : raw) {
+    if (!merged.empty() && merged.back().tau == entry.tau) {
+      merged.back().from_bcg |= entry.from_bcg;
+      merged.back().from_ucg |= entry.from_ucg;
+    } else {
+      merged.push_back(entry);
+    }
+  }
+  return merged;
+}
+
+/// Interior probe of segment `segment` over a sorted breakpoint list (the
+/// shared definition behind poa_curve_segment_probe and the streaming
+/// engine's row grid).
+rational segment_probe(const std::vector<poa_breakpoint>& breakpoints,
+                       std::size_t segment) {
+  if (breakpoints.empty()) return rational::from_int(1);
+  if (segment == 0) {
+    const rational& first = breakpoints.front().tau;
+    return rational::make(first.num, checked_mul(2, first.den));
+  }
+  const rational& left = breakpoints[segment - 1].tau;
+  if (segment == breakpoints.size()) {
+    return rational::make(checked_add(left.num, left.den), left.den);
+  }
+  return midpoint(left, breakpoints[segment].tau);
 }
 
 }  // namespace
@@ -96,28 +126,9 @@ poa_curve build_poa_curve(int n, const census_options& options) {
 
   std::vector<poa_breakpoint> raw;
   for (const census_graph_record& record : curve.records) {
-    if (!record.bcg_interval.empty()) {
-      note_breakpoint(raw, doubled(record.bcg_interval.lo), true);
-      note_breakpoint(raw, doubled(record.bcg_interval.hi), true);
-    }
-    for (const alpha_interval& part : record.ucg.parts()) {
-      note_breakpoint(raw, part.lo, false);
-      note_breakpoint(raw, part.hi, false);
-    }
+    note_profile_breakpoints(raw, record.bcg_interval, record.ucg);
   }
-  std::sort(raw.begin(), raw.end(),
-            [](const poa_breakpoint& a, const poa_breakpoint& b) {
-              return a.tau < b.tau;
-            });
-  for (const poa_breakpoint& entry : raw) {
-    if (!curve.breakpoints.empty() &&
-        curve.breakpoints.back().tau == entry.tau) {
-      curve.breakpoints.back().from_bcg |= entry.from_bcg;
-      curve.breakpoints.back().from_ucg |= entry.from_ucg;
-    } else {
-      curve.breakpoints.push_back(entry);
-    }
-  }
+  curve.breakpoints = merge_breakpoints(std::move(raw));
   return curve;
 }
 
@@ -129,7 +140,8 @@ census_point evaluate_poa_curve(const poa_curve& curve, double tau) {
 census_point evaluate_poa_curve(const poa_curve& curve, const rational& tau) {
   expects(!tau.is_infinite() && tau.num > 0,
           "evaluate_poa_curve: requires finite tau > 0");
-  const rational alpha_bcg = rational::make(tau.num, 2 * tau.den);
+  const rational alpha_bcg =
+      rational::make(tau.num, checked_mul(2, tau.den));
   return evaluate_at(curve, alpha_bcg, tau, alpha_bcg.to_double(),
                      tau.to_double());
 }
@@ -137,16 +149,386 @@ census_point evaluate_poa_curve(const poa_curve& curve, const rational& tau) {
 rational poa_curve_segment_probe(const poa_curve& curve, std::size_t segment) {
   expects(segment <= curve.breakpoints.size(),
           "poa_curve_segment_probe: segment out of range");
-  if (curve.breakpoints.empty()) return rational::from_int(1);
-  if (segment == 0) {
-    const rational& first = curve.breakpoints.front().tau;
-    return rational::make(first.num, 2 * first.den);
+  return segment_probe(curve.breakpoints, segment);
+}
+
+poa_curve_summary summarize_poa_curve(const poa_curve& curve) {
+  poa_curve_summary summary;
+  summary.n = curve.n;
+  summary.topologies = curve.records.size();
+  summary.breakpoints = curve.breakpoints;
+  summary.rows.reserve(2 * curve.breakpoints.size() + 1);
+  for (std::size_t s = 0; s <= curve.breakpoints.size(); ++s) {
+    const rational probe = segment_probe(curve.breakpoints, s);
+    summary.rows.push_back({probe, false, evaluate_poa_curve(curve, probe)});
+    if (s < curve.breakpoints.size()) {
+      const rational& tau = curve.breakpoints[s].tau;
+      summary.rows.push_back({tau, true, evaluate_poa_curve(curve, tau)});
+    }
   }
-  const rational& left = curve.breakpoints[segment - 1].tau;
-  if (segment == curve.breakpoints.size()) {
-    return rational::make(left.num + left.den, left.den);
+  return summary;
+}
+
+// --- the streaming engine -------------------------------------------------
+
+namespace {
+
+// Flat-arena profile record: both games' exact certificates plus the
+// social-cost integers, packed into 16 bytes. Bounds are generous for
+// n <= 10 — thresholds are hop-count deltas below ~2 * n^2 and UCG
+// denominators are deviation link-count differences below n — and the
+// packer verifies every one, falling back to the spill table rather than
+// truncating.
+struct packed_profile {
+  std::int16_t bcg_lo{0};
+  std::int16_t bcg_hi{0};
+  std::int16_t ucg_lo_num{0};
+  std::int16_t ucg_hi_num{0};
+  std::int16_t edges{0};
+  std::int16_t distance_total{0};
+  std::uint8_t ucg_lo_den{1};
+  std::uint8_t ucg_hi_den{1};
+  std::uint8_t flags{0};
+};
+
+constexpr std::uint8_t flag_bcg_lo_closed = 1;
+constexpr std::uint8_t flag_bcg_hi_closed = 2;
+constexpr std::uint8_t flag_bcg_hi_inf = 4;
+constexpr std::uint8_t flag_ucg_empty = 8;
+constexpr std::uint8_t flag_ucg_lo_closed = 16;
+constexpr std::uint8_t flag_ucg_hi_closed = 32;
+constexpr std::uint8_t flag_spill = 64;
+
+/// Full-fidelity fallback for the rare profile the packed form cannot
+/// hold (a multi-component UCG region, or an out-of-range field).
+struct spilled_profile {
+  int edges{0};
+  long long distance_total{0};
+  alpha_interval bcg_interval;
+  alpha_interval_set ucg;
+};
+
+bool fits_i16(long long value) { return value >= -32768 && value <= 32767; }
+
+/// Try to pack; false means the caller must spill. The packed form is
+/// lossless by construction: every stored field is range-checked and the
+/// unpacker reconstructs the identical rationals.
+bool pack_profile(const topology_profile& profile, packed_profile& out) {
+  if (!fits_i16(profile.edges) || !fits_i16(profile.distance_total)) {
+    return false;
   }
-  return midpoint(left, curve.breakpoints[segment].tau);
+  out.edges = static_cast<std::int16_t>(profile.edges);
+  out.distance_total = static_cast<std::int16_t>(profile.distance_total);
+  out.flags = 0;
+
+  const alpha_interval& bcg = profile.bcg_interval;
+  if (bcg.lo.den != 1 || !fits_i16(bcg.lo.num)) return false;
+  out.bcg_lo = static_cast<std::int16_t>(bcg.lo.num);
+  if (bcg.lo_closed) out.flags |= flag_bcg_lo_closed;
+  if (bcg.hi.is_infinite()) {
+    out.flags |= flag_bcg_hi_inf;
+    out.bcg_hi = 0;
+  } else {
+    if (bcg.hi.den != 1 || !fits_i16(bcg.hi.num)) return false;
+    out.bcg_hi = static_cast<std::int16_t>(bcg.hi.num);
+  }
+  if (bcg.hi_closed) out.flags |= flag_bcg_hi_closed;
+
+  if (profile.ucg.empty()) {
+    out.flags |= flag_ucg_empty;
+    return true;
+  }
+  if (profile.ucg.parts().size() != 1) return false;
+  const alpha_interval& part = profile.ucg.parts().front();
+  if (!fits_i16(part.lo.num) || part.lo.den < 1 || part.lo.den > 255) {
+    return false;
+  }
+  out.ucg_lo_num = static_cast<std::int16_t>(part.lo.num);
+  out.ucg_lo_den = static_cast<std::uint8_t>(part.lo.den);
+  if (part.lo_closed) out.flags |= flag_ucg_lo_closed;
+  if (part.hi.is_infinite()) {
+    out.ucg_hi_num = 1;
+    out.ucg_hi_den = 0;
+  } else {
+    if (!fits_i16(part.hi.num) || part.hi.den < 1 || part.hi.den > 255) {
+      return false;
+    }
+    out.ucg_hi_num = static_cast<std::int16_t>(part.hi.num);
+    out.ucg_hi_den = static_cast<std::uint8_t>(part.hi.den);
+  }
+  if (part.hi_closed) out.flags |= flag_ucg_hi_closed;
+  return true;
+}
+
+alpha_interval unpack_bcg(const packed_profile& packed) {
+  alpha_interval interval;
+  interval.lo = rational{packed.bcg_lo, 1};
+  interval.lo_closed = (packed.flags & flag_bcg_lo_closed) != 0;
+  interval.hi = (packed.flags & flag_bcg_hi_inf) != 0
+                    ? rational::infinity()
+                    : rational{packed.bcg_hi, 1};
+  interval.hi_closed = (packed.flags & flag_bcg_hi_closed) != 0;
+  return interval;
+}
+
+alpha_interval unpack_ucg(const packed_profile& packed) {
+  alpha_interval part;
+  part.lo = rational{packed.ucg_lo_num, packed.ucg_lo_den};
+  part.lo_closed = (packed.flags & flag_ucg_lo_closed) != 0;
+  part.hi = rational{packed.ucg_hi_num, packed.ucg_hi_den};
+  part.hi_closed = (packed.flags & flag_ucg_hi_closed) != 0;
+  return part;
+}
+
+/// The evaluation grid shared by every row: exact alphas for membership,
+/// plus the double-precision evaluation constants (identical to the ones
+/// evaluate_poa_curve derives, so the two pipelines agree to the bit).
+struct row_grid {
+  std::vector<rational> tau;        // == alpha_UCG, strictly increasing
+  std::vector<rational> alpha_bcg;  // tau / 2, exact
+  std::vector<bool> on_breakpoint;
+  std::vector<double> bcg_edge_cost;  // 2 * alpha_bcg_value == tau value
+  std::vector<double> ucg_edge_cost;  // alpha_UCG value
+  std::vector<double> opt_bcg;
+  std::vector<double> opt_ucg;
+
+  [[nodiscard]] std::size_t size() const { return tau.size(); }
+
+  void add_row(int n, const rational& tau_exact, bool breakpoint_row) {
+    const rational alpha = rational::make(
+        tau_exact.num, checked_mul(2, tau_exact.den));
+    const double alpha_bcg_value = alpha.to_double();
+    const double alpha_ucg_value = tau_exact.to_double();
+    tau.push_back(tau_exact);
+    alpha_bcg.push_back(alpha);
+    on_breakpoint.push_back(breakpoint_row);
+    bcg_edge_cost.push_back(2.0 * alpha_bcg_value);
+    ucg_edge_cost.push_back(alpha_ucg_value);
+    opt_bcg.push_back(optimal_social_cost(
+        connection_game{n, alpha_bcg_value, link_rule::bilateral}));
+    opt_ucg.push_back(optimal_social_cost(
+        connection_game{n, alpha_ucg_value, link_rule::unilateral}));
+  }
+};
+
+/// First row whose alpha lies inside the lower boundary (alphas strictly
+/// increasing; exact comparisons, mirroring alpha_interval::contains).
+std::size_t range_begin(std::span<const rational> alphas, const rational& lo,
+                        bool lo_closed) {
+  const auto it = std::partition_point(
+      alphas.begin(), alphas.end(), [&](const rational& alpha) {
+        const int cmp = compare(alpha, lo);
+        return cmp < 0 || (cmp == 0 && !lo_closed);
+      });
+  return static_cast<std::size_t>(it - alphas.begin());
+}
+
+/// One past the last row inside the upper boundary.
+std::size_t range_end(std::span<const rational> alphas, const rational& hi,
+                      bool hi_closed) {
+  if (hi.is_infinite()) return alphas.size();
+  const auto it = std::partition_point(
+      alphas.begin(), alphas.end(), [&](const rational& alpha) {
+        const int cmp = compare(alpha, hi);
+        return cmp < 0 || (cmp == 0 && hi_closed);
+      });
+  return static_cast<std::size_t>(it - alphas.begin());
+}
+
+/// Fold one topology into the per-row accumulators of its shard: a binary
+/// search finds the contiguous row range each certificate covers, then
+/// each covered row receives the topology's PoA at that row's exact
+/// evaluation point.
+void accumulate_topology(const row_grid& grid,
+                         const alpha_interval& bcg_interval,
+                         const alpha_interval_set& ucg, int edges,
+                         long long distance_total,
+                         std::vector<equilibrium_accumulator>& bcg_acc,
+                         std::vector<equilibrium_accumulator>& ucg_acc) {
+  const double dist = static_cast<double>(distance_total);
+  if (!bcg_interval.empty()) {
+    const std::size_t begin = range_begin(grid.alpha_bcg, bcg_interval.lo,
+                                          bcg_interval.lo_closed);
+    const std::size_t end =
+        range_end(grid.alpha_bcg, bcg_interval.hi, bcg_interval.hi_closed);
+    for (std::size_t r = begin; r < end; ++r) {
+      const double social = grid.bcg_edge_cost[r] * edges + dist;
+      bcg_acc[r].add(social / grid.opt_bcg[r], edges, distance_total);
+    }
+  }
+  for (const alpha_interval& part : ucg.parts()) {
+    const std::size_t begin = range_begin(grid.tau, part.lo, part.lo_closed);
+    const std::size_t end = range_end(grid.tau, part.hi, part.hi_closed);
+    for (std::size_t r = begin; r < end; ++r) {
+      const double social = grid.ucg_edge_cost[r] * edges + dist;
+      ucg_acc[r].add(social / grid.opt_ucg[r], edges, distance_total);
+    }
+  }
+}
+
+}  // namespace
+
+poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
+  expects(n >= 2 && n <= max_enumeration_order,
+          "stream_poa_curve: requires 2 <= n <= 10");
+
+  const auto keys = all_graph_keys(n, {.connected_only = true,
+                                       .threads = options.threads});
+  const int threads =
+      options.threads > 0 ? options.threads : default_thread_count();
+  const std::size_t shard_count = std::min<std::size_t>(keys.size(), 128);
+  const auto shard_lo = [&](std::size_t shard) {
+    return shard * keys.size() / shard_count;
+  };
+  const auto shard_hi = [&](std::size_t shard) {
+    return (shard + 1) * keys.size() / shard_count;
+  };
+
+  const std::size_t cache_bytes = keys.size() * sizeof(packed_profile);
+  const bool cache_profiles = cache_bytes <= options.memory_budget;
+
+  poa_curve_summary summary;
+  summary.n = n;
+  summary.topologies = keys.size();
+  summary.profile_passes = cache_profiles ? 1 : 2;
+  summary.profile_cache_bytes = cache_profiles ? cache_bytes : 0;
+
+  // --- pass 1: profile every topology once; collect the rational
+  // thresholds into per-shard sorted sets (and pack the certificates into
+  // the flat arena when it fits the budget).
+  std::vector<packed_profile> arena(cache_profiles ? keys.size() : 0);
+  std::vector<std::unordered_map<std::uint64_t, spilled_profile>> spill_shard(
+      shard_count);
+  std::vector<std::vector<poa_breakpoint>> threshold_shard(shard_count);
+
+  parallel_for_chunks(
+      shard_count, threads, [&](std::size_t shard_begin,
+                                std::size_t shard_end) {
+        // Per-thread scratch arenas: one region-search workspace for every
+        // topology this worker profiles.
+        ucg_region_workspace scratch;
+        for (std::size_t shard = shard_begin; shard < shard_end; ++shard) {
+          auto& thresholds = threshold_shard[shard];
+          for (std::size_t i = shard_lo(shard); i < shard_hi(shard); ++i) {
+            const graph g = graph::from_key64(n, keys[i]);
+            // Full region, no clamp: the breakpoint list needs every
+            // threshold.
+            topology_profile profile = profile_topology(
+                g, options.include_ucg, alpha_interval{}, scratch);
+            note_profile_breakpoints(thresholds, profile.bcg_interval,
+                                     profile.ucg);
+            if (cache_profiles) {
+              if (!pack_profile(profile, arena[i])) {
+                arena[i].flags = flag_spill;
+                spill_shard[shard].emplace(
+                    i, spilled_profile{profile.edges, profile.distance_total,
+                                       profile.bcg_interval,
+                                       std::move(profile.ucg)});
+              }
+            }
+          }
+          thresholds = merge_breakpoints(std::move(thresholds));
+        }
+      });
+
+  // Merge the per-shard threshold sets in fixed shard order. The merged
+  // list depends only on the union of the sets, so it is identical across
+  // thread counts — and identical to the record path's list, which notes
+  // the same thresholds from the same profiles.
+  std::vector<poa_breakpoint> all_thresholds;
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    all_thresholds.insert(all_thresholds.end(), threshold_shard[shard].begin(),
+                          threshold_shard[shard].end());
+    threshold_shard[shard].clear();
+    threshold_shard[shard].shrink_to_fit();
+  }
+  summary.breakpoints = merge_breakpoints(std::move(all_thresholds));
+
+  std::unordered_map<std::uint64_t, spilled_profile> spill;
+  for (auto& shard_map : spill_shard) {
+    spill.merge(shard_map);
+  }
+  spill_shard.clear();
+  summary.spilled_profiles = spill.size();
+
+  // --- the evaluation grid: one row per segment probe and per breakpoint,
+  // in increasing tau order.
+  row_grid grid;
+  for (std::size_t s = 0; s <= summary.breakpoints.size(); ++s) {
+    grid.add_row(n, segment_probe(summary.breakpoints, s), false);
+    if (s < summary.breakpoints.size()) {
+      grid.add_row(n, summary.breakpoints[s].tau, true);
+    }
+  }
+
+  // --- pass 2: accumulate per-row statistics, either straight from the
+  // profile cache or by re-streaming (re-profiling) the topologies.
+  std::vector<std::vector<equilibrium_accumulator>> bcg_shard(
+      shard_count, std::vector<equilibrium_accumulator>(grid.size()));
+  std::vector<std::vector<equilibrium_accumulator>> ucg_shard(
+      shard_count, std::vector<equilibrium_accumulator>(grid.size()));
+
+  parallel_for_chunks(
+      shard_count, threads, [&](std::size_t shard_begin,
+                                std::size_t shard_end) {
+        ucg_region_workspace scratch;
+        alpha_interval_set unpacked_ucg;  // reused across topologies
+        for (std::size_t shard = shard_begin; shard < shard_end; ++shard) {
+          auto& bcg_acc = bcg_shard[shard];
+          auto& ucg_acc = ucg_shard[shard];
+          for (std::size_t i = shard_lo(shard); i < shard_hi(shard); ++i) {
+            if (cache_profiles) {
+              const packed_profile& packed = arena[i];
+              if ((packed.flags & flag_spill) != 0) {
+                const spilled_profile& full = spill.at(i);
+                accumulate_topology(grid, full.bcg_interval, full.ucg,
+                                    full.edges, full.distance_total, bcg_acc,
+                                    ucg_acc);
+                continue;
+              }
+              unpacked_ucg.clear();
+              if ((packed.flags & flag_ucg_empty) == 0) {
+                unpacked_ucg.add(unpack_ucg(packed));
+              }
+              accumulate_topology(grid, unpack_bcg(packed), unpacked_ucg,
+                                  packed.edges, packed.distance_total, bcg_acc,
+                                  ucg_acc);
+            } else {
+              const graph g = graph::from_key64(n, keys[i]);
+              const topology_profile profile = profile_topology(
+                  g, options.include_ucg, alpha_interval{}, scratch);
+              accumulate_topology(grid, profile.bcg_interval, profile.ucg,
+                                  profile.edges, profile.distance_total,
+                                  bcg_acc, ucg_acc);
+            }
+          }
+        }
+      });
+
+  // Fixed-order shard merge; the accumulator is exactly associative, so
+  // this is byte-stable no matter how the shards were scheduled.
+  std::vector<equilibrium_accumulator> bcg_total(grid.size());
+  std::vector<equilibrium_accumulator> ucg_total(grid.size());
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    for (std::size_t r = 0; r < grid.size(); ++r) {
+      bcg_total[r].merge(bcg_shard[shard][r]);
+      ucg_total[r].merge(ucg_shard[shard][r]);
+    }
+  }
+
+  summary.rows.reserve(grid.size());
+  for (std::size_t r = 0; r < grid.size(); ++r) {
+    poa_curve_row row;
+    row.tau = grid.tau[r];
+    row.on_breakpoint = grid.on_breakpoint[r];
+    row.point.tau = grid.ucg_edge_cost[r];
+    row.point.alpha_bcg = grid.bcg_edge_cost[r] / 2.0;
+    row.point.alpha_ucg = grid.ucg_edge_cost[r];
+    row.point.bcg = bcg_total[r].stats(grid.bcg_edge_cost[r], grid.opt_bcg[r]);
+    row.point.ucg = ucg_total[r].stats(grid.ucg_edge_cost[r], grid.opt_ucg[r]);
+    summary.rows.push_back(std::move(row));
+  }
+  return summary;
 }
 
 }  // namespace bnf

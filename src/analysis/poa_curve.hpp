@@ -1,19 +1,35 @@
-// Breakpoint-exact census curves. The census records carry both games'
-// equilibrium regions as exact rational intervals, so instead of sampling
-// link cost on a grid (Figures 2/3 style) the curves can be described
-// completely: merge every interval endpoint into one sorted breakpoint
-// list, and between consecutive breakpoints BOTH equilibrium sets are
-// constant. Everything the figures plot is then exact piecewise data —
-// the equilibrium counts and average link counts are piecewise constant,
-// and the PoA aggregates on each piece are exact evaluations of one fixed
-// equilibrium set (their tau-dependence inside a piece is the smooth
-// ratio (alpha * links + dist) / opt(alpha), with no set changes).
+// Breakpoint-exact census curves. Both games' equilibrium regions are
+// exact rational intervals, so instead of sampling link cost on a grid
+// (Figures 2/3 style) the curves can be described completely: merge every
+// interval endpoint into one sorted breakpoint list, and between
+// consecutive breakpoints BOTH equilibrium sets are constant. Everything
+// the figures plot is then exact piecewise data — the equilibrium counts
+// and average link counts are piecewise constant, and the PoA aggregates
+// on each piece are exact evaluations of one fixed equilibrium set (their
+// tau-dependence inside a piece is the smooth ratio
+// (alpha * links + dist) / opt(alpha), with no set changes).
 //
-// Grid sweeps become lookups: evaluate_poa_curve at any tau reproduces
-// the census_sweep point at that tau from the cached intervals alone.
+// Two pipelines produce the same curves, byte for byte:
+//
+//   * build_poa_curve (n <= 8): materialize per-topology census records,
+//     then evaluate_poa_curve answers ANY tau from the cached intervals —
+//     the convenience path for interactive queries and small n.
+//   * stream_poa_curve (n <= 10, the paper's full 11.7M-topology setting):
+//     a sharded streaming engine that never materializes records. Pass 1
+//     profiles each topology once (per-thread region-search arenas) and
+//     collects only the rational thresholds into per-shard sorted sets
+//     merged in fixed shard order; the per-segment and on-breakpoint
+//     statistics are then accumulated either from a compact flat-arena
+//     profile cache (when it fits options.memory_budget — profiles are
+//     nearly always single-interval, so they pack into 16 bytes inline
+//     with a rare spill table) or by re-streaming the topologies in a
+//     second profiling pass. Aggregation uses the exact integer
+//     accumulator of analysis/accumulator.hpp, so the output is identical
+//     across thread counts, memory budgets, and the two pipelines.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "analysis/census.hpp"
@@ -28,6 +44,9 @@ struct poa_breakpoint {
   rational tau;
   bool from_bcg{false};
   bool from_ucg{false};
+
+  friend bool operator==(const poa_breakpoint&,
+                         const poa_breakpoint&) = default;
 };
 
 /// The full census in exact piecewise form. Segment s (for s in
@@ -43,7 +62,8 @@ struct poa_curve {
 
 /// Enumerate the records (one exact stability analysis per topology) and
 /// merge their interval endpoints. Requires 2 <= n <= 8 (the record
-/// guard); set options.include_ucg = false to get BCG-only curves.
+/// guard; stream_poa_curve covers n <= 10); set options.include_ucg =
+/// false to get BCG-only curves.
 [[nodiscard]] poa_curve build_poa_curve(int n,
                                         const census_options& options = {});
 
@@ -61,5 +81,63 @@ struct poa_curve {
 /// segment <= breakpoints.size().
 [[nodiscard]] rational poa_curve_segment_probe(const poa_curve& curve,
                                                std::size_t segment);
+
+// --- the streaming engine -------------------------------------------------
+
+struct poa_stream_options {
+  bool include_ucg{true};
+  int threads{0};  // 0 = hardware concurrency
+  /// Byte budget for the flat-arena profile cache (16 bytes per
+  /// topology). When the packed per-topology profiles fit, the engine
+  /// accumulates the statistics straight from the cache (one profiling
+  /// pass); otherwise it re-streams the topologies for the accumulation
+  /// pass (two profiling passes, ~1/20th of the memory). The budget
+  /// gates the packed arena; the spill table for profiles that do not
+  /// pack is unbudgeted but empirically empty for n <= 10 (the summary
+  /// reports its size). The default admits the paper's n = 10 census
+  /// (~11.7M profiles, ~180 MB) with room to spare.
+  std::size_t memory_budget{std::size_t{1} << 29};
+};
+
+/// One evaluated row of the piecewise census: rows alternate open
+/// segments (evaluated at an exact interior probe — the same probes
+/// poa_curve_segment_probe yields) and breakpoints (evaluated exactly ON
+/// the threshold), in increasing tau order.
+struct poa_curve_row {
+  rational tau;  // exact evaluation point
+  bool on_breakpoint{false};
+  census_point point;
+};
+
+/// The complete piecewise census of one n: breakpoints plus every row's
+/// aggregate statistics, with engine diagnostics. rows.size() ==
+/// 2 * breakpoints.size() + 1.
+struct poa_curve_summary {
+  int n{0};
+  std::uint64_t topologies{0};
+  std::vector<poa_breakpoint> breakpoints;
+  std::vector<poa_curve_row> rows;
+  /// 1 when the profile cache fit the budget, 2 when the topologies were
+  /// re-profiled for the accumulation pass.
+  int profile_passes{1};
+  /// Bytes the profile cache held (0 in two-pass mode).
+  std::size_t profile_cache_bytes{0};
+  /// Profiles that did not fit the 16-byte packed form and went to the
+  /// full-fidelity spill table instead (0 for every n <= 10 census run
+  /// to date; spill memory is outside the budget).
+  std::uint64_t spilled_profiles{0};
+};
+
+/// Run the sharded streaming breakpoint engine. Requires
+/// 2 <= n <= max_enumeration_order (10). Output is byte-identical to
+/// summarize_poa_curve(build_poa_curve(n)) wherever both are defined, and
+/// across thread counts and memory budgets.
+[[nodiscard]] poa_curve_summary stream_poa_curve(
+    int n, const poa_stream_options& options = {});
+
+/// Evaluate a materialized curve into the same summary form the streaming
+/// engine emits (records path; the equivalence tests and the n <= 8
+/// convenience callers use this).
+[[nodiscard]] poa_curve_summary summarize_poa_curve(const poa_curve& curve);
 
 }  // namespace bnf

@@ -81,7 +81,7 @@ text_table price_of_stability_table(std::span<const census_point> points) {
   return table;
 }
 
-text_table poa_breakpoints_table(const poa_curve& curve) {
+text_table poa_breakpoints_table(const poa_curve_summary& curve) {
   text_table table({"idx", "tau_exact", "tau", "games"});
   for (std::size_t i = 0; i < curve.breakpoints.size(); ++i) {
     const poa_breakpoint& entry = curve.breakpoints[i];
@@ -94,15 +94,41 @@ text_table poa_breakpoints_table(const poa_curve& curve) {
   return table;
 }
 
-text_table poa_curve_table(const poa_curve& curve) {
+text_table poa_breakpoints_table(const poa_curve& curve) {
+  // The breakpoints table reads only the breakpoint list — skip the
+  // row-evaluation work a full summarize_poa_curve would do.
+  poa_curve_summary breakpoints_only;
+  breakpoints_only.n = curve.n;
+  breakpoints_only.breakpoints = curve.breakpoints;
+  return poa_breakpoints_table(breakpoints_only);
+}
+
+text_table poa_curve_table(const poa_curve_summary& curve) {
   text_table table({"kind", "tau_lo", "tau_hi", "tau_eval", "#stable_BCG",
                     "avgPoA_BCG", "maxPoA_BCG", "PoS_BCG", "avgLinks_BCG",
                     "#nash_UCG", "avgPoA_UCG", "maxPoA_UCG", "PoS_UCG",
                     "avgLinks_UCG"});
-  const auto add = [&](const std::string& kind, const std::string& tau_lo,
-                       const std::string& tau_hi, const rational& probe) {
-    const census_point point = evaluate_poa_curve(curve, probe);
-    table.add_row({kind, tau_lo, tau_hi, to_string(probe),
+  // Rows alternate segment probes and breakpoints in increasing tau
+  // order; segment s spans breakpoints s-1 .. s.
+  std::size_t segment = 0;
+  for (const poa_curve_row& row : curve.rows) {
+    std::string kind;
+    std::string tau_lo;
+    std::string tau_hi;
+    if (row.on_breakpoint) {
+      kind = "point";
+      tau_lo = to_string(row.tau);
+      tau_hi = tau_lo;
+    } else {
+      kind = "segment";
+      tau_lo = segment == 0 ? "0" : to_string(curve.breakpoints[segment - 1].tau);
+      tau_hi = segment == curve.breakpoints.size()
+                   ? "inf"
+                   : to_string(curve.breakpoints[segment].tau);
+      ++segment;
+    }
+    const census_point& point = row.point;
+    table.add_row({kind, tau_lo, tau_hi, to_string(row.tau),
                    count_or_dash(point.bcg.count),
                    stat_or_dash(point.bcg.count, point.bcg.avg_poa, 4),
                    stat_or_dash(point.bcg.count, point.bcg.max_poa, 4),
@@ -113,21 +139,12 @@ text_table poa_curve_table(const poa_curve& curve) {
                    stat_or_dash(point.ucg.count, point.ucg.max_poa, 4),
                    stat_or_dash(point.ucg.count, point.ucg.min_poa, 4),
                    stat_or_dash(point.ucg.count, point.ucg.avg_edges, 3)});
-  };
-  const std::size_t segments = curve.breakpoints.size() + 1;
-  for (std::size_t s = 0; s < segments; ++s) {
-    const std::string lo =
-        s == 0 ? "0" : to_string(curve.breakpoints[s - 1].tau);
-    const std::string hi = s == curve.breakpoints.size()
-                               ? "inf"
-                               : to_string(curve.breakpoints[s].tau);
-    add("segment", lo, hi, poa_curve_segment_probe(curve, s));
-    if (s < curve.breakpoints.size()) {
-      const rational& tau = curve.breakpoints[s].tau;
-      add("point", to_string(tau), to_string(tau), tau);
-    }
   }
   return table;
+}
+
+text_table poa_curve_table(const poa_curve& curve) {
+  return poa_curve_table(summarize_poa_curve(curve));
 }
 
 void write_csv_file(const text_table& table, const std::string& path) {

@@ -1,0 +1,36 @@
+// The per-topology profiling core shared by the grid census, the
+// materialized record builder, and the streaming breakpoint engine:
+// ONE exact stability analysis per topology yields everything that is
+// alpha-independent about it — both games' equilibrium certificates plus
+// the integer ingredients of the social-cost line
+// alpha * edges + distance_total.
+#pragma once
+
+#include "equilibria/pairwise_stability.hpp"
+#include "equilibria/ucg_nash.hpp"
+#include "graph/graph.hpp"
+
+namespace bnf {
+
+struct topology_profile {
+  int edges{0};
+  long long distance_total{0};  // sum over ordered pairs
+  stability_record bcg;         // exact pairwise-stability predicate
+  /// Exact interval form of `bcg` (alpha_BCG units; identical decisions).
+  alpha_interval bcg_interval;
+  /// Exact UCG Nash region (alpha_UCG units). Empty when include_ucg was
+  /// false.
+  alpha_interval_set ucg;
+};
+
+/// Profile one connected topology. `ucg_clamp` restricts the UCG region
+/// search (pass the default full interval when every threshold is needed,
+/// e.g. for breakpoint enumeration); `scratch` is the per-thread region
+/// search arena — callers looping over topologies reuse one workspace per
+/// thread so the DFS state is allocated once, not once per topology.
+[[nodiscard]] topology_profile profile_topology(const graph& g,
+                                                bool include_ucg,
+                                                const alpha_interval& ucg_clamp,
+                                                ucg_region_workspace& scratch);
+
+}  // namespace bnf

@@ -22,6 +22,7 @@
 #include "game/efficiency.hpp"
 #include "gen/enumerate.hpp"
 #include "gen/named.hpp"
+#include "util/contracts.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -111,20 +112,30 @@ class poa_curve_scenario final : public scenario {
            "which an equilibrium set changes, no grid";
   }
   void configure(arg_parser& args) const override {
-    args.add_int("n", 6, "number of players (records guard: n <= 8)");
+    args.add_int("n", 6,
+                 "number of players (streaming engine: n <= 10, the "
+                 "paper's full census)");
+    args.add_int("memory-budget", 512,
+                 "profile-cache budget in MiB; when the packed profiles "
+                 "fit, the topologies are enumerated once, otherwise "
+                 "twice");
     args.add_flag("skip-ucg", "only compute the BCG curve (much faster)");
   }
 
   int run(run_context& ctx) const override {
     const int n = static_cast<int>(ctx.args.get_int("n"));
+    const long long budget_mib = ctx.args.get_int("memory-budget");
+    expects(budget_mib >= 0, "poa-curve: --memory-budget must be >= 0 MiB");
+    const std::size_t budget = static_cast<std::size_t>(budget_mib) << 20;
 
     stopwatch timer;
-    const poa_curve curve = build_poa_curve(
+    const poa_curve_summary curve = stream_poa_curve(
         n, {.include_ucg = !ctx.args.get_flag("skip-ucg"),
-            .threads = ctx.threads});
+            .threads = ctx.threads,
+            .memory_budget = budget});
 
     ctx.out << "=== Breakpoint-exact census curves (n=" << n << ", "
-            << curve.records.size() << " topologies, "
+            << curve.topologies << " topologies, "
             << curve.breakpoints.size() << " breakpoints) ===\n";
     const text_table breakpoints = poa_breakpoints_table(curve);
     breakpoints.print(ctx.out);
@@ -138,7 +149,10 @@ class poa_curve_scenario final : public scenario {
                "documented in equilibria/alpha_interval.hpp.\nanalysis "
                "time: "
             << fmt_double(timer.seconds(), 2) << " s ("
-            << "one stability analysis per topology, grid-free)\n";
+            << "one stability analysis per topology, grid-free, "
+            << (curve.profile_passes == 1 ? "cached profiles"
+                                          : "two streaming passes")
+            << ")\n";
     ctx.emit("poa_breakpoints", breakpoints);
     ctx.emit("poa_curve", pieces);
     return 0;

@@ -95,33 +95,33 @@ std::string to_string(const alpha_interval& interval) {
 
 void alpha_interval_set::add(alpha_interval interval) {
   if (interval.empty()) return;
-  // Merge every existing component that overlaps or touches the newcomer,
-  // then re-insert the hull at its sorted position.
-  std::vector<alpha_interval> kept;
-  kept.reserve(parts_.size() + 1);
-  for (const alpha_interval& part : parts_) {
-    if (part.connects(interval)) {
-      if (lo_before(part.lo, part.lo_closed, interval.lo,
-                    interval.lo_closed)) {
-        interval.lo = part.lo;
-        interval.lo_closed = part.lo_closed;
-      }
-      if (hi_after(part.hi, part.hi_closed, interval.hi,
-                   interval.hi_closed)) {
-        interval.hi = part.hi;
-        interval.hi_closed = part.hi_closed;
-      }
-    } else {
-      kept.push_back(part);
+  // Parts are sorted and pairwise non-touching, so the components that
+  // overlap or touch the newcomer form one contiguous run: widen the
+  // newcomer to their hull and splice it in place of the run. In-place so
+  // the hot region-search path performs no allocation once the vector has
+  // warmed up.
+  auto first = parts_.begin();
+  while (first != parts_.end() && gap_between(*first, interval)) ++first;
+  auto last = first;
+  while (last != parts_.end() && last->connects(interval)) {
+    if (lo_before(last->lo, last->lo_closed, interval.lo,
+                  interval.lo_closed)) {
+      interval.lo = last->lo;
+      interval.lo_closed = last->lo_closed;
     }
+    if (hi_after(last->hi, last->hi_closed, interval.hi,
+                 interval.hi_closed)) {
+      interval.hi = last->hi;
+      interval.hi_closed = last->hi_closed;
+    }
+    ++last;
   }
-  const auto position = std::find_if(
-      kept.begin(), kept.end(), [&](const alpha_interval& part) {
-        return lo_before(interval.lo, interval.lo_closed, part.lo,
-                         part.lo_closed);
-      });
-  kept.insert(position, interval);
-  parts_ = std::move(kept);
+  if (first == last) {
+    parts_.insert(first, interval);
+  } else {
+    *first = interval;
+    parts_.erase(first + 1, last);
+  }
 }
 
 bool alpha_interval_set::contains(const rational& alpha) const {

@@ -78,6 +78,11 @@ class alpha_interval_set {
   /// overlap or touch. Empty intervals are ignored.
   void add(alpha_interval interval);
 
+  /// Drop every component (capacity is retained, so a cleared set can be
+  /// refilled without reallocating — the region-search scratch relies on
+  /// this).
+  void clear() { parts_.clear(); }
+
   [[nodiscard]] bool empty() const { return parts_.empty(); }
   [[nodiscard]] const std::vector<alpha_interval>& parts() const {
     return parts_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
 
@@ -52,15 +53,24 @@ long long scan_deviations(const graph& g, double alpha, int i,
   return evaluations;
 }
 
+// Forward declaration: the per-alpha checker routes its happiness test
+// through the parametric machinery with a degenerate [alpha, alpha]
+// window, so both formulations share ONE set of exact comparisons.
+alpha_interval player_content_interval(const graph& g, int i,
+                                       std::uint64_t kept_row, int k_cur,
+                                       long long dist_cur,
+                                       alpha_interval window,
+                                       long long* bfs_evaluations);
+
 struct orientation_search {
   const graph& g;
-  double alpha;
+  rational alpha;  // exact value of the query link cost
   const ucg_nash_options& options;
   std::vector<std::pair<int, int>> edges;          // (u, v)
   std::vector<int> candidates;                     // bitmask: 1=u may buy, 2=v
   std::vector<std::uint64_t> paid;                 // per-player paid mask
   std::vector<int> unassigned_incident;            // per-player countdown
-  std::vector<double> base_distance;               // distsum_i(G)
+  std::vector<long long> base_distance;            // distsum_i(G)
   std::vector<int> chosen_buyer;                   // per edge, during DFS
   std::unordered_map<std::uint64_t, bool> happy_memo;
   long long best_response_checks{0};
@@ -73,22 +83,17 @@ struct orientation_search {
     if (const auto it = happy_memo.find(key); it != happy_memo.end()) {
       return it->second;
     }
-    const double current = alpha * popcount(mask) +
-                           base_distance[static_cast<std::size_t>(i)];
-    const std::uint64_t kept_row = g.neighbors(i) & ~mask;
-    bool improving = false;
-    best_response_checks += scan_deviations(
-        g, alpha, i, kept_row, current - options.eps,
-        [&](double cost, std::uint64_t) {
-          if (cost < current - options.eps) {
-            improving = true;
-            return false;  // stop scanning
-          }
-          return true;
-        });
+    // Point query of the content machinery: the player has no strictly
+    // improving deviation at alpha iff alpha survives in its exact
+    // content interval. All threshold comparisons are rational, so the
+    // answer is exact to the last ulp of alpha.
+    const alpha_interval window = player_content_interval(
+        g, i, g.neighbors(i) & ~mask, popcount(mask),
+        base_distance[static_cast<std::size_t>(i)],
+        {alpha, alpha, true, true}, &best_response_checks);
     ensures(best_response_checks <= options.max_best_response_checks,
             "ucg_nash: best-response budget exceeded");
-    const bool happy = !improving;
+    const bool happy = !window.empty();
     happy_memo.emplace(key, happy);
     return happy;
   }
@@ -137,7 +142,8 @@ struct orientation_search {
 alpha_interval player_content_interval(const graph& g, int i,
                                        std::uint64_t kept_row, int k_cur,
                                        long long dist_cur,
-                                       alpha_interval window) {
+                                       alpha_interval window,
+                                       long long* bfs_evaluations = nullptr) {
   const int n = g.order();
   // Buying a link the other side already keeps paying for leaves the row
   // unchanged and costs alpha more, so subsets meeting kept_row are
@@ -168,6 +174,7 @@ alpha_interval player_content_interval(const graph& g, int i,
     if (maybe_binding) {
       const auto [sum, unreached] =
           distance_sum_with_row(g, i, kept_row | subset);
+      if (bfs_evaluations != nullptr) ++*bfs_evaluations;
       if (unreached == 0) {
         if (k_dev > k_cur) {
           if (sum < dist_cur) {
@@ -198,8 +205,14 @@ alpha_interval player_content_interval(const graph& g, int i,
   return window;
 }
 
-struct interval_search {
-  const graph& g;
+}  // namespace
+
+// Reusable arenas of the region search, shared across calls through the
+// public ucg_region_workspace handle. Vectors are assign()ed and the memo
+// clear()ed per topology, so capacity (and the hash table's bucket array)
+// warms up once per thread and every subsequent topology runs
+// allocation-free on the hot path.
+struct ucg_region_workspace::state {
   std::vector<std::pair<int, int>> edges;           // (u, v), u < v
   std::vector<std::array<alpha_interval, 2>> buyer_window;  // per edge side
   std::vector<std::uint64_t> paid;                  // per-player paid mask
@@ -209,13 +222,28 @@ struct interval_search {
   std::vector<long long> severance;                 // [i*n+v] single-cut cost
   std::unordered_map<std::uint64_t, alpha_interval> content_memo;
   alpha_interval_set region;
+};
+
+ucg_region_workspace::ucg_region_workspace() : state_(new state) {}
+ucg_region_workspace::~ucg_region_workspace() = default;
+ucg_region_workspace::ucg_region_workspace(ucg_region_workspace&&) noexcept =
+    default;
+ucg_region_workspace& ucg_region_workspace::operator=(
+    ucg_region_workspace&&) noexcept = default;
+
+namespace {
+
+struct interval_search {
+  const graph& g;
+  ucg_region_workspace::state& s;
   long long player_intervals{0};
   long long orientations_tried{0};
 
   alpha_interval content_interval(int i) {
-    const std::uint64_t mask = paid[static_cast<std::size_t>(i)];
+    const std::uint64_t mask = s.paid[static_cast<std::size_t>(i)];
     const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | mask;
-    if (const auto it = content_memo.find(key); it != content_memo.end()) {
+    if (const auto it = s.content_memo.find(key);
+        it != s.content_memo.end()) {
       return it->second;
     }
     ++player_intervals;
@@ -226,11 +254,11 @@ struct interval_search {
     // constraints of the full enumeration, and starting from them lets
     // the floor-based prune skip the BFS for most multi-link subsets.
     alpha_interval seed;
-    seed.lo = addition_lb[static_cast<std::size_t>(i)];
+    seed.lo = s.addition_lb[static_cast<std::size_t>(i)];
     seed.lo_closed = seed.lo.num > 0;
     const int n = g.order();
     for_each_bit(mask, [&](int v) {
-      const long long inc = severance[static_cast<std::size_t>(i * n + v)];
+      const long long inc = s.severance[static_cast<std::size_t>(i * n + v)];
       if (inc < infinite_delta &&
           (seed.hi.is_infinite() || inc < seed.hi.num)) {
         seed.hi = rational::from_int(inc);
@@ -241,8 +269,8 @@ struct interval_search {
         seed.empty() ? alpha_interval::empty_interval()
                      : player_content_interval(
                            g, i, g.neighbors(i) & ~mask, popcount(mask),
-                           base_distance[static_cast<std::size_t>(i)], seed);
-    content_memo.emplace(key, window);
+                           s.base_distance[static_cast<std::size_t>(i)], seed);
+    s.content_memo.emplace(key, window);
     return window;
   }
 
@@ -252,35 +280,35 @@ struct interval_search {
   // already covers it — the latter is what keeps dense graphs (whose
   // orientations are massively interchangeable) linear instead of 2^m.
   void assign(std::size_t index, const alpha_interval& window) {
-    if (window.empty() || region.covers(window)) return;
-    if (index == edges.size()) {
-      region.add(window);
+    if (window.empty() || s.region.covers(window)) return;
+    if (index == s.edges.size()) {
+      s.region.add(window);
       return;
     }
     ++orientations_tried;
     ensures(orientations_tried <= (1LL << 26),
             "ucg_nash_alpha_region: orientation budget exceeded");
-    const auto [u, v] = edges[index];
+    const auto [u, v] = s.edges[index];
     for (int side = 0; side < 2; ++side) {
       const int buyer = side == 0 ? u : v;
       const int other = side == 0 ? v : u;
-      alpha_interval next =
-          window.intersect(buyer_window[index][static_cast<std::size_t>(side)]);
+      alpha_interval next = window.intersect(
+          s.buyer_window[index][static_cast<std::size_t>(side)]);
       if (next.empty()) continue;
-      paid[static_cast<std::size_t>(buyer)] |= bit(other);
-      --unassigned_incident[static_cast<std::size_t>(u)];
-      --unassigned_incident[static_cast<std::size_t>(v)];
-      if (unassigned_incident[static_cast<std::size_t>(u)] == 0) {
+      s.paid[static_cast<std::size_t>(buyer)] |= bit(other);
+      --s.unassigned_incident[static_cast<std::size_t>(u)];
+      --s.unassigned_incident[static_cast<std::size_t>(v)];
+      if (s.unassigned_incident[static_cast<std::size_t>(u)] == 0) {
         next = next.intersect(content_interval(u));
       }
       if (!next.empty() &&
-          unassigned_incident[static_cast<std::size_t>(v)] == 0) {
+          s.unassigned_incident[static_cast<std::size_t>(v)] == 0) {
         next = next.intersect(content_interval(v));
       }
       assign(index + 1, next);
-      paid[static_cast<std::size_t>(buyer)] &= ~bit(other);
-      ++unassigned_incident[static_cast<std::size_t>(u)];
-      ++unassigned_incident[static_cast<std::size_t>(v)];
+      s.paid[static_cast<std::size_t>(buyer)] &= ~bit(other);
+      ++s.unassigned_incident[static_cast<std::size_t>(u)];
+      ++s.unassigned_incident[static_cast<std::size_t>(v)];
     }
   }
 };
@@ -289,6 +317,13 @@ struct interval_search {
 
 ucg_region_result ucg_nash_alpha_region(const graph& g,
                                         const alpha_interval& within) {
+  ucg_region_workspace scratch;
+  return ucg_nash_alpha_region(g, within, scratch);
+}
+
+ucg_region_result ucg_nash_alpha_region(const graph& g,
+                                        const alpha_interval& within,
+                                        ucg_region_workspace& scratch) {
   expects(g.order() >= 1 && g.order() <= 16,
           "ucg_nash_alpha_region: guard n <= 16 (exact search)");
   ucg_region_result result;
@@ -300,12 +335,17 @@ ucg_region_result ucg_nash_alpha_region(const graph& g,
   if (!is_connected(g) || within.empty()) return result;
 
   const int n = g.order();
-  interval_search search{g, g.edges(), {}, {}, {}, {}, {}, {}, {}, {}, 0, 0};
-  search.addition_lb.assign(static_cast<std::size_t>(n), rational{0, 1});
-  search.severance.assign(static_cast<std::size_t>(n) * n, infinite_delta);
-  search.base_distance.resize(static_cast<std::size_t>(n));
+  ucg_region_workspace::state& s = *scratch.state_;
+  s.edges = g.edges();
+  s.buyer_window.clear();
+  s.content_memo.clear();
+  s.region.clear();
+  interval_search search{g, s, 0, 0};
+  s.addition_lb.assign(static_cast<std::size_t>(n), rational{0, 1});
+  s.severance.assign(static_cast<std::size_t>(n) * n, infinite_delta);
+  s.base_distance.resize(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
-    search.base_distance[static_cast<std::size_t>(v)] = distance_sum(g, v).sum;
+    s.base_distance[static_cast<std::size_t>(v)] = distance_sum(g, v).sum;
   }
   // Single-flip deltas via the row-replacement BFS: toggling one of i's
   // incident links only changes i's own row, so no graph copies and no
@@ -325,12 +365,12 @@ ucg_region_result ucg_nash_alpha_region(const graph& g,
       const auto [sum, unreached] =
           single_flip_sum(a, g.neighbors(a) | bit(b));
       ensures(unreached == 0, "ucg_nash_alpha_region: connected precondition");
-      const long long dec = search.base_distance[static_cast<std::size_t>(a)] - sum;
-      auto& lb = search.addition_lb[static_cast<std::size_t>(a)];
+      const long long dec = s.base_distance[static_cast<std::size_t>(a)] - sum;
+      auto& lb = s.addition_lb[static_cast<std::size_t>(a)];
       if (dec > lb.num) lb = rational::from_int(dec);
     }
   }
-  for (const rational& lb : search.addition_lb) {
+  for (const rational& lb : s.addition_lb) {
     // Any player's single-addition bound applies to every orientation.
     if (lb.num > 0 && compare(lb, root.lo) > 0) {
       root.lo = lb;
@@ -339,8 +379,8 @@ ucg_region_result ucg_nash_alpha_region(const graph& g,
   }
   if (root.empty()) return result;
 
-  search.buyer_window.reserve(search.edges.size());
-  for (const auto& [u, v] : search.edges) {
+  s.buyer_window.reserve(s.edges.size());
+  for (const auto& [u, v] : s.edges) {
     // A buyer tolerates its own single-link severance only while
     // alpha <= the distance increase; bridges impose no bound.
     std::array<alpha_interval, 2> windows;
@@ -354,8 +394,8 @@ ucg_region_result ucg_nash_alpha_region(const graph& g,
       const long long inc =
           unreached > 0
               ? infinite_delta
-              : sum - search.base_distance[static_cast<std::size_t>(buyer)];
-      search.severance[static_cast<std::size_t>(buyer * n + other)] = inc;
+              : sum - s.base_distance[static_cast<std::size_t>(buyer)];
+      s.severance[static_cast<std::size_t>(buyer * n + other)] = inc;
       if (inc < infinite_delta) {
         windows[static_cast<std::size_t>(side)].hi = rational::from_int(inc);
         if (!loosest_infinite && inc > loosest.num) {
@@ -365,7 +405,7 @@ ucg_region_result ucg_nash_alpha_region(const graph& g,
         loosest_infinite = true;
       }
     }
-    search.buyer_window.push_back(windows);
+    s.buyer_window.push_back(windows);
     // Whoever buys, alpha <= max of the two severance bounds.
     if (!loosest_infinite &&
         (root.hi.is_infinite() || compare(loosest, root.hi) < 0)) {
@@ -375,13 +415,13 @@ ucg_region_result ucg_nash_alpha_region(const graph& g,
   }
   if (root.empty()) return result;
 
-  search.paid.assign(static_cast<std::size_t>(n), 0);
-  search.unassigned_incident.assign(static_cast<std::size_t>(n), 0);
+  s.paid.assign(static_cast<std::size_t>(n), 0);
+  s.unassigned_incident.assign(static_cast<std::size_t>(n), 0);
   for (int v = 0; v < n; ++v) {
-    search.unassigned_incident[static_cast<std::size_t>(v)] = g.degree(v);
+    s.unassigned_incident[static_cast<std::size_t>(v)] = g.degree(v);
   }
   search.assign(0, root);
-  result.region = std::move(search.region);
+  result.region = s.region;  // leave the arena intact for reuse
   result.player_intervals_computed = search.player_intervals;
   result.orientations_tried = search.orientations_tried;
   return result;
@@ -442,30 +482,44 @@ ucg_nash_result ucg_nash_supportable(const graph& g, double alpha,
   ucg_nash_result result;
   if (!is_connected(g)) return result;
 
+  // Every comparison against alpha goes through its exact rational value:
+  // the thresholds are integer hop-count deltas, so each decision is one
+  // integer cross-multiplication with zero slack. Genuine thresholds on
+  // at most 16 vertices all lie in [1/15, ~2n^2], so the query is first
+  // clamped into [2^-4, 2^20]: decisions are constant beyond that band,
+  // every positive double stays answerable (any double >= 2^-4 keeps all
+  // 52 mantissa bits above 2^-56, comfortably inside exact_rational's
+  // range), and the clamp also keeps the infinite_delta sentinel (2^40,
+  // "no constraint") on the tolerant side for arbitrarily large alpha —
+  // which the old direct double comparisons got wrong past 2^40.
+  const rational alpha_exact = exact_rational(
+      std::clamp(alpha, std::ldexp(1.0, -4), std::ldexp(1.0, 20)));
+
   // Filter 1: a missing link that saves an endpoint strictly more than
   // alpha would be added unilaterally — never Nash.
   for (const auto& [u, v] : g.non_edges()) {
-    if (static_cast<double>(edge_addition_decrease(g, u, v)) >
-            alpha + options.eps ||
-        static_cast<double>(edge_addition_decrease(g, v, u)) >
-            alpha + options.eps) {
+    if (compare(rational::from_int(edge_addition_decrease(g, u, v)),
+                alpha_exact) > 0 ||
+        compare(rational::from_int(edge_addition_decrease(g, v, u)),
+                alpha_exact) > 0) {
       return result;
     }
   }
 
-  orientation_search search{g, alpha, options, {}, {}, {}, {}, {}, {}, {}, 0, 0};
+  orientation_search search{g,  alpha_exact, options, {}, {}, {}, {},
+                            {}, {},          {},      0,  0};
   search.edges = g.edges();
 
   // Filter 2: each edge needs a buyer whose single-severance saving does
   // not strictly exceed the distance increase (alpha <= increase).
   for (const auto& [u, v] : search.edges) {
     int mask = 0;
-    if (alpha <=
-        static_cast<double>(edge_deletion_increase(g, u, v)) + options.eps) {
+    if (compare(rational::from_int(edge_deletion_increase(g, u, v)),
+                alpha_exact) >= 0) {
       mask |= 1;
     }
-    if (alpha <=
-        static_cast<double>(edge_deletion_increase(g, v, u)) + options.eps) {
+    if (compare(rational::from_int(edge_deletion_increase(g, v, u)),
+                alpha_exact) >= 0) {
       mask |= 2;
     }
     if (mask == 0) return result;
@@ -501,8 +555,7 @@ ucg_nash_result ucg_nash_supportable(const graph& g, double alpha,
   }
   search.base_distance.resize(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
-    search.base_distance[static_cast<std::size_t>(v)] =
-        static_cast<double>(distance_sum(g, v).sum);
+    search.base_distance[static_cast<std::size_t>(v)] = distance_sum(g, v).sum;
   }
   search.chosen_buyer.assign(search.edges.size(), -1);
 

@@ -22,9 +22,21 @@
 //             exact best response (2^(n-1) subsets, popcount-pruned and
 //             memoized per (player, paid-set)) as soon as all its incident
 //             edges are assigned.
+//
+// Every comparison against alpha is EXACT: the link cost is converted once
+// to its exact rational value (every double is a binary rational) and all
+// threshold decisions are integer cross-multiplications — there is no
+// epsilon slack anywhere, so is_ucg_nash agrees with the interval
+// certificates of ucg_nash_alpha_region at every representable alpha,
+// including one ulp on either side of a threshold. (Queries are clamped
+// into [2^-4, 2^20] first; every genuine threshold on n <= 16 vertices
+// lies strictly inside — the smallest is 1/15 — so decisions are
+// constant beyond the band and any positive double — 1e-300, 1e-5, or
+// 1e300 — gets the correct asymptotic answer.)
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -34,8 +46,6 @@
 namespace bnf {
 
 struct ucg_nash_options {
-  /// Numeric slack when comparing alpha multiples with integer distances.
-  double eps{1e-9};
   /// Abort knob for pathological instances (never hit for n <= 10).
   long long max_best_response_checks{1LL << 28};
 };
@@ -83,6 +93,30 @@ struct ucg_region_result {
   long long player_intervals_computed{0};
   long long orientations_tried{0};
 };
+/// Reusable scratch for the region search: the DFS state (edge windows,
+/// paid masks, the per-(player, paid-set) content-interval memo, and the
+/// region set under construction) lives in arenas owned by the workspace,
+/// so a caller that profiles millions of topologies hands the SAME
+/// workspace to consecutive calls and pays the allocations once per
+/// thread instead of once per topology. Not thread-safe: one workspace
+/// per thread.
+class ucg_region_workspace {
+ public:
+  ucg_region_workspace();
+  ~ucg_region_workspace();
+  ucg_region_workspace(ucg_region_workspace&&) noexcept;
+  ucg_region_workspace& operator=(ucg_region_workspace&&) noexcept;
+
+  /// Opaque arena block (defined in ucg_nash.cpp).
+  struct state;
+
+ private:
+  friend ucg_region_result ucg_nash_alpha_region(const graph&,
+                                                 const alpha_interval&,
+                                                 ucg_region_workspace&);
+  std::unique_ptr<state> state_;
+};
+
 /// `within` restricts the search to a sub-range of link costs: the result
 /// is exactly (full region) intersect `within`, but branches outside the
 /// clamp are pruned at the root — a census whose grid spans [lo, hi] pays
@@ -90,6 +124,11 @@ struct ucg_region_result {
 /// the complete region.
 [[nodiscard]] ucg_region_result ucg_nash_alpha_region(
     const graph& g, const alpha_interval& within = {});
+/// Same search, reusing `scratch` across calls (per-thread scratch arenas
+/// for the census and streaming-curve loops).
+[[nodiscard]] ucg_region_result ucg_nash_alpha_region(
+    const graph& g, const alpha_interval& within,
+    ucg_region_workspace& scratch);
 
 /// The Nash region as a single exact interval. For every graph the
 /// region search has been run against (exhaustively cross-validated for

@@ -96,15 +96,39 @@ std::vector<std::uint64_t> all_graph_keys(int n,
   return keys;
 }
 
+void for_each_graph_key_chunk(
+    int n, const enumeration_options& options, std::size_t chunk_size,
+    const std::function<void(std::span<const std::uint64_t>)>& fn) {
+  expects(n >= 0 && n <= max_enumeration_order,
+          "for_each_graph_key_chunk: order out of range (max 10)");
+  expects(chunk_size >= 1, "for_each_graph_key_chunk: chunk_size >= 1");
+  const std::vector<std::uint64_t> level =
+      build_level(n, resolve_threads(options));
+  std::vector<std::uint64_t> filtered;
+  for (std::size_t begin = 0; begin < level.size(); begin += chunk_size) {
+    const std::size_t end = std::min(level.size(), begin + chunk_size);
+    std::span<const std::uint64_t> chunk(level.data() + begin, end - begin);
+    if (options.connected_only && n >= 1) {
+      filtered.clear();
+      for (const std::uint64_t key : chunk) {
+        if (is_connected(graph::from_key64(n, key))) filtered.push_back(key);
+      }
+      if (filtered.empty()) continue;
+      chunk = std::span<const std::uint64_t>(filtered);
+    }
+    fn(chunk);
+  }
+}
+
 void for_each_graph(int n, const std::function<void(const graph&)>& fn,
                     const enumeration_options& options) {
-  const auto keys = all_graph_keys(
-      n, {.connected_only = false, .threads = options.threads});
-  for (const std::uint64_t key : keys) {
-    const graph g = graph::from_key64(n, key);
-    if (options.connected_only && !is_connected(g)) continue;
-    fn(g);
-  }
+  for_each_graph_key_chunk(
+      n, {.connected_only = options.connected_only, .threads = options.threads},
+      std::size_t{1} << 16, [&](std::span<const std::uint64_t> chunk) {
+        for (const std::uint64_t key : chunk) {
+          fn(graph::from_key64(n, key));
+        }
+      });
 }
 
 std::vector<graph> all_graphs(int n, const enumeration_options& options) {

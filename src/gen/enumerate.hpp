@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -39,6 +40,17 @@ struct enumeration_options {
 /// Deterministic. Requires 0 <= n <= max_enumeration_order.
 [[nodiscard]] std::vector<std::uint64_t> all_graph_keys(
     int n, const enumeration_options& options = {.connected_only = false});
+
+/// Stream the sorted canonical keys in bounded chunks instead of handing
+/// out one n=10-sized vector: the full (unfiltered) level is built once,
+/// then `fn` receives consecutive sorted spans of at most `chunk_size`
+/// keys. With connected_only the filter runs per chunk into a scratch
+/// buffer, so no second filtered copy of the level ever exists — callers
+/// that only iterate (for_each_graph, golden diffs, spot checks) keep
+/// their peak at one level plus one chunk. Requires chunk_size >= 1.
+void for_each_graph_key_chunk(
+    int n, const enumeration_options& options, std::size_t chunk_size,
+    const std::function<void(std::span<const std::uint64_t>)>& fn);
 
 /// Invoke `fn` once per isomorphism class on n vertices (reconstructed
 /// from its canonical key), in sorted key order.

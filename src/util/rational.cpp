@@ -33,16 +33,30 @@ int sign_of(int128 value) { return value < 0 ? -1 : (value > 0 ? 1 : 0); }
 
 rational rational::make(long long p, long long q) {
   expects(q != 0, "rational::make: zero denominator (use infinity())");
-  if (q < 0) {
-    p = -p;
-    q = -q;
-  }
-  const long long divisor = std::gcd(p < 0 ? -p : p, q);
+  // Work on unsigned magnitudes: negating LLONG_MIN as a signed value is
+  // undefined behavior, but its magnitude 2^63 fits unsigned long long.
+  const bool negative = (p < 0) != (q < 0);
+  unsigned long long up =
+      p < 0 ? -static_cast<unsigned long long>(p)
+            : static_cast<unsigned long long>(p);
+  unsigned long long uq =
+      q < 0 ? -static_cast<unsigned long long>(q)
+            : static_cast<unsigned long long>(q);
+  const unsigned long long divisor = std::gcd(up, uq);
   if (divisor > 1) {
-    p /= divisor;
-    q /= divisor;
+    up /= divisor;
+    uq /= divisor;
   }
-  return {p, q};
+  constexpr auto max_magnitude =
+      static_cast<unsigned long long>(std::numeric_limits<long long>::max());
+  expects(uq <= max_magnitude && up <= max_magnitude + (negative ? 1U : 0U),
+          "rational::make: reduced value does not fit long long");
+  // Negate in unsigned space: -(2^63) has no positive signed counterpart,
+  // but the unsigned negation converts (C++20 modular semantics) to
+  // exactly LLONG_MIN.
+  const long long num = negative ? static_cast<long long>(-up)
+                                 : static_cast<long long>(up);
+  return {num, static_cast<long long>(uq)};
 }
 
 double rational::to_double() const {
@@ -135,6 +149,18 @@ rational exact_rational(double x) {
   }
   expects(-exponent < 63, "exact_rational: value too small");
   return rational{mantissa, 1LL << -exponent};
+}
+
+long long checked_add(long long a, long long b) {
+  long long result = 0;
+  expects(!__builtin_add_overflow(a, b, &result), "checked_add: overflow");
+  return result;
+}
+
+long long checked_mul(long long a, long long b) {
+  long long result = 0;
+  expects(!__builtin_mul_overflow(a, b, &result), "checked_mul: overflow");
+  return result;
 }
 
 std::string to_string(const rational& r) {

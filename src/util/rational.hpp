@@ -23,7 +23,11 @@ struct rational {
   long long den{1};
 
   /// Normalized p/q. Requires q != 0 (use infinity() for the point at
-  /// infinity). Signs are folded into the numerator.
+  /// infinity). Signs are folded into the numerator. Reduction happens on
+  /// unsigned magnitudes, so LLONG_MIN inputs are well-defined (no signed
+  /// negation overflow); the one unrepresentable outcome — a reduced
+  /// magnitude of 2^63 that must stay positive or sit in the denominator —
+  /// throws precondition_error instead of wrapping.
   static rational make(long long p, long long q);
   static constexpr rational from_int(long long value) { return {value, 1}; }
   static constexpr rational infinity() { return {1, 0}; }
@@ -70,6 +74,13 @@ struct rational {
 /// link costs comfortably qualify. Sweeps convert each grid point once
 /// and reuse cheap rational-rational comparisons ever after.
 [[nodiscard]] rational exact_rational(double x);
+
+/// Overflow-checked integer arithmetic for threshold manipulation (e.g.
+/// doubling a BCG endpoint into tau units, or stepping one past a
+/// breakpoint). Throws precondition_error on signed overflow rather than
+/// invoking undefined behavior.
+[[nodiscard]] long long checked_add(long long a, long long b);
+[[nodiscard]] long long checked_mul(long long a, long long b);
 
 /// "p/q", "p" when q == 1, "inf" for +infinity.
 [[nodiscard]] std::string to_string(const rational& r);

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "equilibria/alpha_interval.hpp"
 #include "equilibria/pairwise_stability.hpp"
@@ -169,6 +170,97 @@ TEST(AlphaIntervalSetTest, ToStringListsComponents) {
   set.add({rational::from_int(1), rational::from_int(2), true, true});
   set.add({rational::from_int(4), rational::infinity(), true, false});
   EXPECT_EQ(to_string(set), "[1, 2] | [4, inf)");
+}
+
+TEST(AlphaIntervalSetTest, CoversAndConnectsPropertyAtExtremeEndpoints) {
+  // Property sweep over a small interval universe that includes BOTH
+  // extremes — zero lower endpoints (always open by the domain
+  // convention) and infinite upper endpoints — cross-validating covers()
+  // and connects() against brute-force membership at a probe grid that
+  // straddles every endpoint.
+  std::vector<alpha_interval> universe;
+  const std::vector<rational> endpoints = {
+      rational::from_int(0), rational::make(1, 2), rational::from_int(1),
+      rational::make(3, 2), rational::from_int(2)};
+  for (std::size_t lo = 0; lo < endpoints.size(); ++lo) {
+    for (std::size_t hi = lo; hi < endpoints.size(); ++hi) {
+      for (const bool lo_closed : {false, true}) {
+        // Canonical form only: a zero lower endpoint is always open (the
+        // domain is alpha > 0).
+        if (lo_closed && endpoints[lo].num == 0) continue;
+        for (const bool hi_closed : {false, true}) {
+          universe.push_back(
+              {endpoints[lo], endpoints[hi], lo_closed, hi_closed});
+        }
+      }
+    }
+    // Unbounded intervals carry the default hi_closed flag (the flag is
+    // meaningless at infinity; keeping it canonical keeps the endpoint
+    // comparisons of covers() aligned with semantic containment).
+    universe.push_back({endpoints[lo], rational::infinity(),
+                        endpoints[lo].num > 0, true});
+    universe.push_back({endpoints[lo], rational::infinity(), false, true});
+  }
+  // Probes: every endpoint, every adjacent midpoint, and a far tail value
+  // standing in for "arbitrarily large".
+  std::vector<rational> probes = endpoints;
+  for (std::size_t i = 0; i + 1 < endpoints.size(); ++i) {
+    probes.push_back(midpoint(endpoints[i], endpoints[i + 1]));
+  }
+  probes.push_back(rational::from_int(1000000));
+
+  for (const alpha_interval& a : universe) {
+    for (const alpha_interval& b : universe) {
+      if (a.empty() || b.empty()) continue;
+      // covers-by-set: a one-part set covers b iff every probe in b is in
+      // a AND b's endpoints do not stick out (probe grid includes all
+      // endpoints, so probe containment is exhaustive for this universe).
+      alpha_interval_set set;
+      set.add(a);
+      bool probe_subset = true;
+      for (const rational& probe : probes) {
+        if (b.contains(probe) && !a.contains(probe)) probe_subset = false;
+      }
+      // Unbounded b inside bounded a can only fail via the tail probe.
+      if (b.hi.is_infinite() && !a.hi.is_infinite()) probe_subset = false;
+      EXPECT_EQ(set.covers(b), probe_subset)
+          << to_string(a) << " covers " << to_string(b);
+
+      // connects ⟺ union is one interval ⟺ adding both to a set yields
+      // a single part.
+      alpha_interval_set joined;
+      joined.add(a);
+      joined.add(b);
+      EXPECT_EQ(a.connects(b), joined.parts().size() == 1)
+          << to_string(a) << " connects " << to_string(b);
+      EXPECT_EQ(a.connects(b), b.connects(a))
+          << to_string(a) << " symmetric " << to_string(b);
+    }
+  }
+}
+
+TEST(AlphaIntervalSetTest, AddMergesAcrossInfiniteAndZeroEndpoints) {
+  alpha_interval_set set;
+  // (0, 1] then [1, inf): touch at 1, must fuse into the full domain.
+  set.add({rational::from_int(0), rational::from_int(1), false, true});
+  set.add({rational::from_int(1), rational::infinity(), true, false});
+  ASSERT_EQ(set.parts().size(), 1U);
+  EXPECT_EQ(to_string(set), "(0, inf)");
+  EXPECT_TRUE(set.contains(rational::make(1, 1000)));
+  EXPECT_TRUE(set.contains(rational::from_int(1000000000)));
+  EXPECT_FALSE(set.contains(rational::from_int(0)));
+  EXPECT_FALSE(set.contains(rational::infinity()));
+
+  // A second unbounded add is absorbed, not duplicated.
+  set.add({rational::from_int(5), rational::infinity(), true, true});
+  EXPECT_EQ(set.parts().size(), 1U);
+
+  // Open endpoints that merely touch do NOT fuse: (0,1) + (1,2).
+  alpha_interval_set gapped;
+  gapped.add({rational::from_int(0), rational::from_int(1), false, false});
+  gapped.add({rational::from_int(1), rational::from_int(2), false, false});
+  EXPECT_EQ(gapped.parts().size(), 2U);
+  EXPECT_FALSE(gapped.contains(rational::from_int(1)));
 }
 
 TEST(AlphaIntervalTest, StabilityRecordBridgeMatchesStableAt) {

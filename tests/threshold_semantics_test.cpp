@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "equilibria/pairwise_nash.hpp"
 #include "equilibria/pairwise_stability.hpp"
@@ -21,12 +22,69 @@
 #include "gen/enumerate.hpp"
 #include "gen/named.hpp"
 #include "graph/graph.hpp"
+#include "graph/paths.hpp"
+#include "util/bitops.hpp"
+#include "util/rational.hpp"
 
 namespace bnf {
 namespace {
 
 bool exactly_representable(const rational& r) {
   return !r.is_infinite() && (r.den & (r.den - 1)) == 0;
+}
+
+/// Brute-force exact Nash oracle, INDEPENDENT of the production search
+/// machinery: enumerates every buyer orientation and every deviation
+/// subset directly, deciding each comparison by rational
+/// cross-multiplication only (no player_content_interval, no
+/// scan_deviations, no epsilon). Exponential — test-oracle use only.
+bool brute_force_ucg_nash(const graph& g, const rational& alpha) {
+  if (!is_connected(g)) return false;
+  const int n = g.order();
+  const auto edges = g.edges();
+  const std::uint64_t orientations = 1ULL << edges.size();
+  for (std::uint64_t assignment = 0; assignment < orientations;
+       ++assignment) {
+    std::vector<std::uint64_t> paid(static_cast<std::size_t>(n), 0);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      const auto [u, v] = edges[e];
+      if ((assignment >> e) & 1U) {
+        paid[static_cast<std::size_t>(u)] |= bit(v);
+      } else {
+        paid[static_cast<std::size_t>(v)] |= bit(u);
+      }
+    }
+    bool nash = true;
+    for (int i = 0; i < n && nash; ++i) {
+      const std::uint64_t mine = paid[static_cast<std::size_t>(i)];
+      const int k_cur = popcount(mine);
+      const long long dist_cur = distance_sum(g, i).sum;
+      const std::uint64_t kept = g.neighbors(i) & ~mine;
+      const std::uint64_t others = g.vertex_mask() & ~bit(i);
+      for (std::uint64_t subset = others;; subset = (subset - 1) & others) {
+        const auto [sum, unreached] =
+            distance_sum_with_row(g, i, kept | subset);
+        if (unreached == 0) {
+          // Strictly improving iff alpha * (k_dev - k_cur) + (sum -
+          // dist_cur) < 0, decided exactly.
+          const long long dk = popcount(subset) - k_cur;
+          const long long dd = sum - dist_cur;
+          const bool improves =
+              dk == 0 ? dd < 0
+              : dk > 0
+                  ? compare(alpha, rational::make(-dd, dk)) < 0
+                  : compare(alpha, rational::make(dd, -dk)) > 0;
+          if (improves) {
+            nash = false;
+            break;
+          }
+        }
+        if (subset == 0) break;
+      }
+    }
+    if (nash) return true;
+  }
+  return false;
 }
 
 TEST(ThresholdSemanticsTest, StarIsStableExactlyAtItsSymmetricBoundary) {
@@ -144,6 +202,121 @@ TEST(ThresholdSemanticsTest, BlockingPairConventionMatchesProposition1) {
           }
         },
         {.connected_only = true});
+  }
+}
+
+TEST(ThresholdSemanticsTest, UcgCheckerIsExactWithinOneUlpOfThresholds) {
+  // The per-alpha checker carries NO epsilon: all comparisons route
+  // through the exact rational value of alpha, so one ulp past a
+  // threshold must already flip the answer (the old 1e-9 slack would
+  // have swallowed these probes). Probed on graphs whose thresholds are
+  // exactly representable doubles.
+  for (const graph& g :
+       {complete(5), complete(6), cycle(5), cycle(6), star(6), path(5)}) {
+    const alpha_interval interval = ucg_nash_interval(g);
+    if (interval.empty()) continue;  // e.g. cycle(6): never UCG Nash
+    if (!interval.hi.is_infinite() && exactly_representable(interval.hi)) {
+      const double hi = interval.hi.to_double();
+      const double above =
+          std::nextafter(hi, std::numeric_limits<double>::infinity());
+      EXPECT_TRUE(is_ucg_nash(g, hi)) << to_string(g);
+      EXPECT_FALSE(is_ucg_nash(g, above)) << to_string(g);
+      // One ulp below stays inside (the interval is non-degenerate).
+      const double below = std::nextafter(hi, 0.0);
+      EXPECT_EQ(is_ucg_nash(g, below),
+                interval.contains(exact_rational(below)))
+          << to_string(g);
+    }
+    if (interval.lo.num > 0 && exactly_representable(interval.lo)) {
+      const double lo = interval.lo.to_double();
+      const double below = std::nextafter(lo, 0.0);
+      EXPECT_EQ(is_ucg_nash(g, lo), interval.lo_closed) << to_string(g);
+      EXPECT_FALSE(is_ucg_nash(g, below)) << to_string(g);
+      const double above =
+          std::nextafter(lo, std::numeric_limits<double>::infinity());
+      EXPECT_EQ(is_ucg_nash(g, above),
+                interval.contains(exact_rational(above)))
+          << to_string(g);
+    }
+  }
+}
+
+TEST(ThresholdSemanticsTest, UcgCheckerAgreesWithRegionAtNonDyadicThresholds) {
+  // Thresholds with odd denominators (e.g. 1/3-grained ones) are not
+  // exactly representable; the checker must then classify the NEAREST
+  // doubles on each side exactly as the region does — which the epsilon
+  // slack used to get wrong within 1e-9 of the true rational.
+  for (const graph& g : {path(4), path(6), star(5), cycle(7)}) {
+    const ucg_region_result region = ucg_nash_alpha_region(g);
+    for (const alpha_interval& part : region.region.parts()) {
+      for (const rational& endpoint : {part.lo, part.hi}) {
+        if (endpoint.is_infinite() || endpoint.num <= 0) continue;
+        const double nearest = endpoint.to_double();
+        for (const double probe :
+             {std::nextafter(nearest, 0.0), nearest,
+              std::nextafter(nearest,
+                             std::numeric_limits<double>::infinity())}) {
+          ASSERT_EQ(is_ucg_nash(g, probe),
+                    region.region.contains(exact_rational(probe)))
+              << to_string(g) << " probe=" << probe;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThresholdSemanticsTest, IndependentOracleAgreesAtThresholdUlps) {
+  // is_ucg_nash and ucg_nash_alpha_region now share the exact comparison
+  // machinery, so comparing them to each other cannot catch a shared
+  // boundary bug. This cross-validates BOTH against the brute-force
+  // oracle above — at every region endpoint, one ulp either side of it,
+  // and a generic interior value — on all connected graphs with n <= 5.
+  for (int n = 3; n <= 5; ++n) {
+    for_each_graph(
+        n,
+        [&](const graph& g) {
+          const ucg_region_result region = ucg_nash_alpha_region(g);
+          std::vector<double> probes = {1.5};
+          for (const alpha_interval& part : region.region.parts()) {
+            for (const rational& endpoint : {part.lo, part.hi}) {
+              if (endpoint.is_infinite() || endpoint.num <= 0) continue;
+              const double nearest = endpoint.to_double();
+              probes.push_back(nearest);
+              probes.push_back(std::nextafter(nearest, 0.0));
+              probes.push_back(std::nextafter(
+                  nearest, std::numeric_limits<double>::infinity()));
+            }
+          }
+          for (const double probe : probes) {
+            const rational exact = exact_rational(probe);
+            const bool oracle = brute_force_ucg_nash(g, exact);
+            ASSERT_EQ(oracle, is_ucg_nash(g, probe))
+                << to_string(g) << " checker at " << probe;
+            ASSERT_EQ(oracle, region.region.contains(exact))
+                << to_string(g) << " region at " << probe;
+          }
+        },
+        {.connected_only = true});
+  }
+}
+
+TEST(ThresholdSemanticsTest, ExtremeAlphasGetTheAsymptoticAnswer) {
+  // Positive doubles far outside the threshold band must neither throw
+  // nor misclassify: the checker clamps into [2^-4, 2^20], strictly
+  // inside which all genuine n <= 16 thresholds live. In particular
+  // alpha above the infinite_delta severance sentinel (2^40) used to
+  // flip bridges to "intolerable"; stars are Nash at EVERY alpha >= 1.
+  for (const double huge : {std::ldexp(1.0, 41), 1e19, 1e300}) {
+    EXPECT_TRUE(is_ucg_nash(star(5), huge)) << huge;
+    EXPECT_FALSE(is_ucg_nash(complete(4), huge)) << huge;  // hi = 1
+  }
+  // 1e-5/1e-6 have full 52-bit mantissas whose low bits sit far below
+  // 2^-62: a value-only clamp still trips exact_rational's denominator
+  // bound, so these pin that the clamp floor (2^-4) bounds the
+  // DENOMINATOR too.
+  for (const double tiny : {1e-5, 1e-6, 1e-19, 1e-300}) {
+    EXPECT_TRUE(is_ucg_nash(complete(4), tiny)) << tiny;
+    EXPECT_FALSE(is_ucg_nash(star(5), tiny)) << tiny;  // lo = 1
   }
 }
 
