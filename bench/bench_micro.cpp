@@ -97,6 +97,29 @@ void BM_EnumerateConnected(benchmark::State& state) {
 }
 BENCHMARK(BM_EnumerateConnected)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
 
+void BM_OrderlyCountConnected(benchmark::State& state) {
+  // The pure generator, nothing materialized: the throughput ceiling of
+  // every streaming census (classes emitted per second).
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bnf::count_graphs(n, {.connected_only = true, .threads = 1}));
+  }
+}
+BENCHMARK(BM_OrderlyCountConnected)
+    ->Arg(7)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OrderlyTrees(benchmark::State& state) {
+  // Hereditary forest prune: cost tracks the 106 trees on 10 vertices,
+  // not the 11.7M connected classes.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bnf::all_trees(10));
+  }
+}
+BENCHMARK(BM_OrderlyTrees)->Unit(benchmark::kMillisecond);
+
 void BM_PairwiseDynamicsRun(benchmark::State& state) {
   bnf::rng random(4);
   for (auto _ : state) {

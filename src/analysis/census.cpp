@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "analysis/topology_profile.hpp"
 #include "equilibria/ucg_nash.hpp"
@@ -17,13 +18,17 @@ namespace bnf {
 std::vector<census_point> census_sweep(int n, std::span<const double> taus,
                                        const census_options& options) {
   expects(n >= 2 && n <= max_enumeration_order,
-          "census_sweep: requires 2 <= n <= 10");
+          "census_sweep: requires 2 <= n <= " +
+              std::to_string(max_enumeration_order));
   for (const double tau : taus) {
     expects(tau > 0, "census_sweep: total edge costs must be positive");
   }
 
-  const auto keys = all_graph_keys(n, {.connected_only = true,
-                                       .threads = options.threads});
+  // Stream the orderly generator shard by shard — nothing materialized,
+  // profiling overlaps generation.
+  constexpr std::size_t shard_count = 128;
+  const enumeration_plan plan(
+      n, shard_count, {.connected_only = true, .threads = options.threads});
 
   // Precompute the optimal social cost per grid point and game, plus the
   // exact rational value of each grid alpha (membership tests below are
@@ -57,7 +62,6 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
   // Sharding is FIXED (independent of the thread count) and the exact
   // accumulator is associative, so every downstream table and JSONL byte
   // is identical whether the sweep runs on 1 thread or 64.
-  const std::size_t shard_count = std::min<std::size_t>(keys.size(), 128);
   std::vector<std::vector<equilibrium_accumulator>> bcg_shard(
       shard_count, std::vector<equilibrium_accumulator>(grid));
   std::vector<std::vector<equilibrium_accumulator>> ucg_shard(
@@ -71,12 +75,10 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
     // shards reuses the same DFS scratch (ROADMAP micro-opt).
     ucg_region_workspace scratch;
     for (std::size_t shard = shard_begin; shard < shard_end; ++shard) {
-      const std::size_t lo = shard * keys.size() / shard_count;
-      const std::size_t hi = (shard + 1) * keys.size() / shard_count;
       auto& bcg_local = bcg_shard[shard];
       auto& ucg_local = ucg_shard[shard];
-      for (std::size_t index = lo; index < hi; ++index) {
-        const graph g = graph::from_key64(n, keys[index]);
+      plan.for_each_key(shard, [&](std::uint64_t key) {
+        const graph g = graph::from_key64(n, key);
         // ONE stability analysis per topology; the grid loop below is
         // pure exact interval membership, so the sweep's cost does not
         // depend on how fine the tau grid is.
@@ -102,7 +104,7 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
             }
           }
         }
-      }
+      });
     }
   });
 

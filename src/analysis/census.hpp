@@ -45,7 +45,8 @@ struct census_options {
 };
 
 /// Run the full census at every total-edge-cost in `taus`.
-/// Requires 2 <= n <= 10 (n=8 takes seconds; n=10, the paper's setting,
+/// Requires 2 <= n <= max_enumeration_order (n=8 takes seconds; n=10,
+/// the paper's setting,
 /// takes minutes and ~1 GB as it walks 11.7M topologies). Performs one
 /// exact stability analysis per topology; `ucg_nash_search_invocations`
 /// does not advance (the tests pin this).

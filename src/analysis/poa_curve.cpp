@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -370,36 +371,42 @@ void accumulate_topology(const row_grid& grid,
 
 poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
   expects(n >= 2 && n <= max_enumeration_order,
-          "stream_poa_curve: requires 2 <= n <= 10");
+          "stream_poa_curve: requires 2 <= n <= " +
+              std::to_string(max_enumeration_order));
 
-  const auto keys = all_graph_keys(n, {.connected_only = true,
-                                       .threads = options.threads});
+  // The orderly generator replaces the materialized key vector: each of
+  // the engine's fixed 128 shards streams its own classes straight out of
+  // canonical augmentation, so pass 1 overlaps generation with profiling
+  // and the enumeration phase disappears as a separate cost.
   const int threads =
       options.threads > 0 ? options.threads : default_thread_count();
-  const std::size_t shard_count = std::min<std::size_t>(keys.size(), 128);
-  const auto shard_lo = [&](std::size_t shard) {
-    return shard * keys.size() / shard_count;
-  };
-  const auto shard_hi = [&](std::size_t shard) {
-    return (shard + 1) * keys.size() / shard_count;
-  };
+  constexpr std::size_t shard_count = 128;
+  const enumeration_plan plan(
+      n, shard_count, {.connected_only = true, .threads = options.threads});
 
-  const std::size_t cache_bytes = keys.size() * sizeof(packed_profile);
+  // The census size is known exactly up front (OEIS A001349, verified by
+  // an ensures below), so the cache-vs-two-pass decision needs no
+  // enumeration of its own.
+  const std::uint64_t expected =
+      known_connected_graph_counts[static_cast<std::size_t>(n)];
+  const std::size_t cache_bytes =
+      static_cast<std::size_t>(expected) * sizeof(packed_profile);
   const bool cache_profiles = cache_bytes <= options.memory_budget;
 
   poa_curve_summary summary;
   summary.n = n;
-  summary.topologies = keys.size();
   summary.profile_passes = cache_profiles ? 1 : 2;
   summary.profile_cache_bytes = cache_profiles ? cache_bytes : 0;
 
-  // --- pass 1: profile every topology once; collect the rational
-  // thresholds into per-shard sorted sets (and pack the certificates into
-  // the flat arena when it fits the budget).
-  std::vector<packed_profile> arena(cache_profiles ? keys.size() : 0);
+  // --- pass 1: profile every topology once, as it is generated; collect
+  // the rational thresholds into per-shard sorted sets (and pack the
+  // certificates into per-shard flat arenas when they fit the budget).
+  std::vector<std::vector<packed_profile>> arena(cache_profiles ? shard_count
+                                                                : 0);
   std::vector<std::unordered_map<std::uint64_t, spilled_profile>> spill_shard(
       shard_count);
   std::vector<std::vector<poa_breakpoint>> threshold_shard(shard_count);
+  std::vector<std::uint64_t> count_shard(shard_count, 0);
 
   parallel_for_chunks(
       shard_count, threads, [&](std::size_t shard_begin,
@@ -409,8 +416,13 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
         ucg_region_workspace scratch;
         for (std::size_t shard = shard_begin; shard < shard_end; ++shard) {
           auto& thresholds = threshold_shard[shard];
-          for (std::size_t i = shard_lo(shard); i < shard_hi(shard); ++i) {
-            const graph g = graph::from_key64(n, keys[i]);
+          if (cache_profiles) {
+            arena[shard].reserve(
+                static_cast<std::size_t>(expected / shard_count + 64));
+          }
+          count_shard[shard] = plan.for_each_key(shard, [&](std::uint64_t
+                                                                key) {
+            const graph g = graph::from_key64(n, key);
             // Full region, no clamp: the breakpoint list needs every
             // threshold.
             topology_profile profile = profile_topology(
@@ -418,18 +430,28 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
             note_profile_breakpoints(thresholds, profile.bcg_interval,
                                      profile.ucg);
             if (cache_profiles) {
-              if (!pack_profile(profile, arena[i])) {
-                arena[i].flags = flag_spill;
+              packed_profile packed;
+              if (!pack_profile(profile, packed)) {
+                packed.flags = flag_spill;
                 spill_shard[shard].emplace(
-                    i, spilled_profile{profile.edges, profile.distance_total,
-                                       profile.bcg_interval,
-                                       std::move(profile.ucg)});
+                    arena[shard].size(),
+                    spilled_profile{profile.edges, profile.distance_total,
+                                    profile.bcg_interval,
+                                    std::move(profile.ucg)});
               }
+              arena[shard].push_back(packed);
             }
-          }
+          });
           thresholds = merge_breakpoints(std::move(thresholds));
         }
       });
+
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    summary.topologies += count_shard[shard];
+  }
+  ensures(summary.topologies == expected,
+          "stream_poa_curve: census size mismatch vs OEIS A001349 — orderly "
+          "generator bug");
 
   // Merge the per-shard threshold sets in fixed shard order. The merged
   // list depends only on the union of the sets, so it is identical across
@@ -444,12 +466,9 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
   }
   summary.breakpoints = merge_breakpoints(std::move(all_thresholds));
 
-  std::unordered_map<std::uint64_t, spilled_profile> spill;
-  for (auto& shard_map : spill_shard) {
-    spill.merge(shard_map);
+  for (const auto& shard_map : spill_shard) {
+    summary.spilled_profiles += shard_map.size();
   }
-  spill_shard.clear();
-  summary.spilled_profiles = spill.size();
 
   // --- the evaluation grid: one row per segment probe and per breakpoint,
   // in increasing tau order.
@@ -476,11 +495,15 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
         for (std::size_t shard = shard_begin; shard < shard_end; ++shard) {
           auto& bcg_acc = bcg_shard[shard];
           auto& ucg_acc = ucg_shard[shard];
-          for (std::size_t i = shard_lo(shard); i < shard_hi(shard); ++i) {
-            if (cache_profiles) {
-              const packed_profile& packed = arena[i];
+          if (cache_profiles) {
+            // Replay the shard's arena in generation order; spilled entries
+            // are keyed by their local arena index.
+            const auto& shard_arena = arena[shard];
+            const auto& shard_spill = spill_shard[shard];
+            for (std::size_t i = 0; i < shard_arena.size(); ++i) {
+              const packed_profile& packed = shard_arena[i];
               if ((packed.flags & flag_spill) != 0) {
-                const spilled_profile& full = spill.at(i);
+                const spilled_profile& full = shard_spill.at(i);
                 accumulate_topology(grid, full.bcg_interval, full.ucg,
                                     full.edges, full.distance_total, bcg_acc,
                                     ucg_acc);
@@ -493,14 +516,18 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
               accumulate_topology(grid, unpack_bcg(packed), unpacked_ucg,
                                   packed.edges, packed.distance_total, bcg_acc,
                                   ucg_acc);
-            } else {
-              const graph g = graph::from_key64(n, keys[i]);
+            }
+          } else {
+            // Two-pass mode: re-stream the generator — regeneration plus
+            // re-profiling trades time for the arena's memory.
+            plan.for_each_key(shard, [&](std::uint64_t key) {
+              const graph g = graph::from_key64(n, key);
               const topology_profile profile = profile_topology(
                   g, options.include_ucg, alpha_interval{}, scratch);
               accumulate_topology(grid, profile.bcg_interval, profile.ucg,
                                   profile.edges, profile.distance_total,
                                   bcg_acc, ucg_acc);
-            }
+            });
           }
         }
       });

@@ -14,11 +14,15 @@
 //   * build_poa_curve (n <= 8): materialize per-topology census records,
 //     then evaluate_poa_curve answers ANY tau from the cached intervals —
 //     the convenience path for interactive queries and small n.
-//   * stream_poa_curve (n <= 10, the paper's full 11.7M-topology setting):
-//     a sharded streaming engine that never materializes records. Pass 1
-//     profiles each topology once (per-thread region-search arenas) and
-//     collects only the rational thresholds into per-shard sorted sets
-//     merged in fixed shard order; the per-segment and on-breakpoint
+//   * stream_poa_curve (n up to max_enumeration_order; n = 10 is the
+//     paper's full 11.7M-topology setting): a sharded streaming engine
+//     that never materializes records — or even the key vector. Each of
+//     128 fixed shards streams its classes straight out of the orderly
+//     canonical-augmentation generator (gen/enumerate.hpp), so pass 1
+//     profiles each topology as it is generated (per-thread region-search
+//     arenas) and collects only the rational thresholds into per-shard
+//     sorted sets merged in fixed shard order; the per-segment and
+//     on-breakpoint
 //     statistics are then accumulated either from a compact flat-arena
 //     profile cache (when it fits options.memory_budget — profiles are
 //     nearly always single-interval, so they pack into 16 bytes inline
@@ -62,7 +66,8 @@ struct poa_curve {
 
 /// Enumerate the records (one exact stability analysis per topology) and
 /// merge their interval endpoints. Requires 2 <= n <= 8 (the record
-/// guard; stream_poa_curve covers n <= 10); set options.include_ucg =
+/// guard; stream_poa_curve covers every enumerable order); set
+/// options.include_ucg =
 /// false to get BCG-only curves.
 [[nodiscard]] poa_curve build_poa_curve(int n,
                                         const census_options& options = {});
@@ -129,7 +134,7 @@ struct poa_curve_summary {
 };
 
 /// Run the sharded streaming breakpoint engine. Requires
-/// 2 <= n <= max_enumeration_order (10). Output is byte-identical to
+/// 2 <= n <= max_enumeration_order. Output is byte-identical to
 /// summarize_poa_curve(build_poa_curve(n)) wherever both are defined, and
 /// across thread counts and memory budgets.
 [[nodiscard]] poa_curve_summary stream_poa_curve(

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -113,8 +114,9 @@ class poa_curve_scenario final : public scenario {
   }
   void configure(arg_parser& args) const override {
     args.add_int("n", 6,
-                 "number of players (streaming engine: n <= 10, the "
-                 "paper's full census)");
+                 "number of players (streaming engine: n <= " +
+                     std::to_string(max_enumeration_order) +
+                     "; n = 10 is the paper's full census)");
     args.add_int("memory-budget", 512,
                  "profile-cache budget in MiB; when the packed profiles "
                  "fit, the topologies are enumerated once, otherwise "

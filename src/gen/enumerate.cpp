@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <mutex>
+#include <string>
+#include <utility>
 
 #include "graph/canonical.hpp"
 #include "graph/paths.hpp"
@@ -13,86 +15,274 @@ namespace bnf {
 
 namespace {
 
-// Extend every parent class on k vertices by one new vertex attached to
-// each subset of [0, k); return the sorted unique canonical keys of the
-// children. Parents are processed in parallel chunks; each chunk's keys
-// are sorted/deduped locally and merged into the accumulator, keeping the
-// peak memory at O(result + chunk) rather than O(all candidates).
-std::vector<std::uint64_t> level_up(const std::vector<std::uint64_t>& parents,
-                                    int k, int threads) {
-  const std::uint64_t subset_space = bit(k);  // 2^k attachment choices
+using aut_generators = std::vector<std::array<std::uint8_t, max_vertices>>;
 
-  // Chunk parents so each chunk yields ~2M candidate keys.
-  const std::size_t per_chunk =
-      std::max<std::size_t>(1, (std::size_t{1} << 21) / subset_space);
-  const std::size_t chunk_count =
-      (parents.size() + per_chunk - 1) / per_chunk;
-
-  std::vector<std::uint64_t> merged;
-  std::mutex merge_mutex;
-
-  parallel_for_chunks(chunk_count, threads, [&](std::size_t begin,
-                                                std::size_t end) {
-    std::vector<std::uint64_t> local;
-    local.reserve(per_chunk * subset_space);
-    std::vector<std::uint64_t> scratch;
-    for (std::size_t chunk = begin; chunk < end; ++chunk) {
-      local.clear();
-      const std::size_t lo = chunk * per_chunk;
-      const std::size_t hi = std::min(parents.size(), lo + per_chunk);
-      for (std::size_t p = lo; p < hi; ++p) {
-        const graph parent = graph::from_key64(k, parents[p]);
-        graph child = parent.with_vertex();
-        for (std::uint64_t subset = 0; subset < subset_space; ++subset) {
-          // Rewrite the new vertex's neighbourhood to `subset`.
-          for_each_bit(child.neighbors(k), [&](int w) {
-            child.remove_edge(k, w);
-          });
-          for_each_bit(subset, [&](int w) { child.add_edge(k, w); });
-          local.push_back(canonical_key64(child));
-        }
-      }
-      std::sort(local.begin(), local.end());
-      local.erase(std::unique(local.begin(), local.end()), local.end());
-
-      const std::lock_guard<std::mutex> lock(merge_mutex);
-      scratch.clear();
-      scratch.reserve(merged.size() + local.size());
-      std::set_union(merged.begin(), merged.end(), local.begin(), local.end(),
-                     std::back_inserter(scratch));
-      merged.swap(scratch);
-    }
-  });
-  return merged;
-}
-
-std::vector<std::uint64_t> build_level(int n, int threads) {
-  std::vector<std::uint64_t> level{0};  // the unique graph on 0 vertices
-  for (int k = 0; k < n; ++k) {
-    level = level_up(level, k, threads);
-    ensures(level.size() == known_graph_counts[static_cast<std::size_t>(k + 1)],
-            "enumerate: class count mismatch vs OEIS A000088 — canonical "
-            "labeling bug");
-  }
-  return level;
+std::string order_range_message(const char* function) {
+  return std::string(function) + ": order out of range (max " +
+         std::to_string(max_enumeration_order) + ")";
 }
 
 int resolve_threads(const enumeration_options& options) {
   return options.threads > 0 ? options.threads : default_thread_count();
 }
 
+// Image of a vertex mask under one automorphism.
+std::uint64_t permuted_mask(
+    std::uint64_t mask, const std::array<std::uint8_t, max_vertices>& perm) {
+  std::uint64_t image = 0;
+  for_each_bit(mask, [&](int v) {
+    image |= bit(perm[static_cast<std::size_t>(v)]);
+  });
+  return image;
+}
+
+// One canonical-augmentation step: attach a new vertex to `parent` (k
+// vertices, automorphism generators `gens` in the parent's own labels) in
+// every way that survives the orderly filters, and hand each ACCEPTED
+// child to `sink(child, canon)`:
+//
+//   * one attachment set per orbit of Aut(parent) on subsets of V(parent)
+//     — closing each orbit with the generators as it is first met — so a
+//     child class never arises twice from the same parent;
+//   * accept iff the new vertex k lies in the same Aut(child)-orbit as
+//     the vertex at the LAST canonical position (the canonical deletion
+//     vertex), so across parents each child class survives from exactly
+//     one of them.
+//
+// The first refinement of the canonical search orders degrees descending,
+// pinning the last canonical position to minimum degree — hence the
+// popcount pre-filter: a new vertex of above-minimum degree can never be
+// orbit-equivalent to the deletion vertex, and most candidates die here
+// without a canonical form ever being computed.
+//
+// With `forests_only`, attachment sets touching any parent component
+// twice are skipped before the rewrite; forests are hereditary under
+// vertex deletion, so construction paths of forests stay inside the class
+// and the exactly-once guarantee carries over unchanged.
+template <typename Sink>
+void augment_once(const graph& parent, const aut_generators& gens,
+                  bool forests_only, Sink&& sink) {
+  const int k = parent.order();
+  graph child = parent.with_vertex();
+
+  std::vector<std::uint64_t> comps;
+  if (forests_only && k > 0) comps = components(parent);
+
+  const std::uint64_t subset_count = std::uint64_t{1} << k;
+  std::vector<bool> visited;
+  std::vector<std::uint64_t> orbit_queue;
+  if (!gens.empty()) visited.assign(subset_count, false);
+
+  for (std::uint64_t subset = 0; subset < subset_count; ++subset) {
+    if (!gens.empty()) {
+      // Ascending iteration meets each subset orbit at its smallest
+      // member first, so an already-visited subset is a non-representative.
+      if (visited[subset]) continue;
+      visited[subset] = true;
+      orbit_queue.assign(1, subset);
+      while (!orbit_queue.empty()) {
+        const std::uint64_t mask = orbit_queue.back();
+        orbit_queue.pop_back();
+        for (const auto& perm : gens) {
+          const std::uint64_t image = permuted_mask(mask, perm);
+          if (!visited[image]) {
+            visited[image] = true;
+            orbit_queue.push_back(image);
+          }
+        }
+      }
+    }
+
+    if (forests_only) {
+      bool cyclic = false;
+      for (const std::uint64_t comp : comps) {
+        if (popcount(subset & comp) > 1) {
+          cyclic = true;
+          break;
+        }
+      }
+      if (cyclic) continue;
+    }
+
+    // Rewrite the new vertex's neighbourhood to `subset`.
+    for_each_bit(child.neighbors(k), [&](int w) { child.remove_edge(k, w); });
+    for_each_bit(subset, [&](int w) { child.add_edge(k, w); });
+
+    const int new_degree = popcount(subset);
+    bool above_minimum = false;
+    for (int u = 0; u < k; ++u) {
+      if (popcount(child.neighbors(u)) < new_degree) {
+        above_minimum = true;
+        break;
+      }
+    }
+    if (above_minimum) continue;
+
+    canon_result canon = canonical_form(child);
+    const int deletion = canon.labeling[static_cast<std::size_t>(k)];
+    if (canon.orbits[static_cast<std::size_t>(k)] !=
+        canon.orbits[static_cast<std::size_t>(deletion)]) {
+      continue;
+    }
+    sink(child, std::move(canon));
+  }
+}
+
+// Depth-first canonical augmentation from `parent` up to `target`
+// vertices, emitting each accepted class's canonical key exactly once.
+// Deterministic: the construction path of a class is unique and subsets
+// are tried in fixed ascending order.
+std::uint64_t expand_to_target(const graph& parent, const aut_generators& gens,
+                               int target, bool connected_only,
+                               bool forests_only,
+                               const std::function<void(std::uint64_t)>& fn) {
+  std::uint64_t emitted = 0;
+  augment_once(parent, gens, forests_only,
+               [&](const graph& child, canon_result&& canon) {
+                 if (child.order() == target) {
+                   if (connected_only && !is_connected(child)) return;
+                   fn(canon.canonical.key64());
+                   ++emitted;
+                 } else {
+                   emitted += expand_to_target(child, canon.generators, target,
+                                               connected_only, forests_only,
+                                               fn);
+                 }
+               });
+  return emitted;
+}
+
+// Validate a full-level class count against the OEIS tables (the same
+// invariant the old levelwise pipeline enforced per level).
+void check_expected_count(int n, const enumeration_options& options,
+                          std::uint64_t count, const char* function) {
+  const auto idx = static_cast<std::size_t>(n);
+  const std::string where(function);
+  if (options.forests_only) {
+    if (options.connected_only && n >= 1) {
+      ensures(count == known_tree_counts[idx],
+              where + ": tree count mismatch vs OEIS A000055 — orderly "
+                      "generator bug");
+    } else if (!options.connected_only) {
+      ensures(count == known_forest_counts[idx],
+              where + ": forest count mismatch vs OEIS A005195 — orderly "
+                      "generator bug");
+    }
+  } else if (options.connected_only && n >= 1) {
+    ensures(count == known_connected_graph_counts[idx],
+            where + ": class count mismatch vs OEIS A001349 — orderly "
+                    "generator bug");
+  } else {
+    ensures(count == known_graph_counts[idx],
+            where + ": class count mismatch vs OEIS A000088 — orderly "
+                    "generator bug");
+  }
+}
+
 }  // namespace
+
+enumeration_plan::enumeration_plan(int n, std::size_t shard_count,
+                                   const enumeration_options& options)
+    : n_(n),
+      shard_count_(shard_count),
+      connected_only_(options.connected_only),
+      forests_only_(options.forests_only) {
+  expects(n >= 0 && n <= max_enumeration_order,
+          order_range_message("enumeration_plan"));
+  expects(shard_count >= 1, "enumeration_plan: requires shard_count >= 1");
+  if (n_ == 0) return;  // the empty graph is emitted directly
+
+  // Split where the seed level is cheap to build yet fine-grained enough
+  // to stride-balance 128 shards: two levels below the target, capped at
+  // level 9 (274,668 seeds — the n = 11 fan-out).
+  split_level_ = std::min(n_ - 2 > 0 ? n_ - 2 : 0, 9);
+  const int threads = resolve_threads(options);
+
+  seeds_.push_back(seed{graph(0), {}, 0});
+  for (int k = 0; k < split_level_; ++k) {
+    std::vector<seed> next;
+    std::mutex merge_mutex;
+    parallel_for_chunks(
+        seeds_.size(), threads, [&](std::size_t begin, std::size_t end) {
+          std::vector<seed> local;
+          for (std::size_t p = begin; p < end; ++p) {
+            augment_once(seeds_[p].g, seeds_[p].generators, forests_only_,
+                         [&](const graph& child, canon_result&& canon) {
+                           local.push_back(
+                               seed{child, std::move(canon.generators),
+                                    canon.canonical.key64()});
+                         });
+          }
+          const std::lock_guard<std::mutex> lock(merge_mutex);
+          next.insert(next.end(), std::make_move_iterator(local.begin()),
+                      std::make_move_iterator(local.end()));
+        });
+    // Canonical keys are unique per class, so this sort makes the seed
+    // order deterministic no matter how the chunks were scheduled.
+    std::sort(next.begin(), next.end(),
+              [](const seed& a, const seed& b) { return a.key < b.key; });
+    const enumeration_options level_options{.connected_only = false,
+                                            .forests_only = forests_only_};
+    check_expected_count(k + 1, level_options, next.size(),
+                         "enumeration_plan");
+    seeds_ = std::move(next);
+  }
+}
+
+std::uint64_t enumeration_plan::for_each_key(
+    std::size_t shard, const std::function<void(std::uint64_t)>& fn) const {
+  expects(shard < shard_count_,
+          "enumeration_plan::for_each_key: shard out of range");
+  if (n_ == 0) {
+    if (shard != 0) return 0;
+    fn(graph(0).key64());
+    return 1;
+  }
+  std::uint64_t emitted = 0;
+  for (std::size_t i = shard; i < seeds_.size(); i += shard_count_) {
+    emitted += expand_to_target(seeds_[i].g, seeds_[i].generators, n_,
+                                connected_only_, forests_only_, fn);
+  }
+  return emitted;
+}
+
+void for_each_graph_key_shard(int n, std::size_t shard,
+                              std::size_t shard_count,
+                              const std::function<void(std::uint64_t)>& fn,
+                              const enumeration_options& options) {
+  expects(shard_count >= 1 && shard < shard_count,
+          "for_each_graph_key_shard: requires shard < shard_count");
+  const enumeration_plan plan(n, shard_count, options);
+  plan.for_each_key(shard, fn);
+}
 
 std::vector<std::uint64_t> all_graph_keys(int n,
                                           const enumeration_options& options) {
   expects(n >= 0 && n <= max_enumeration_order,
-          "all_graph_keys: order out of range (max 10)");
-  std::vector<std::uint64_t> keys = build_level(n, resolve_threads(options));
-  if (options.connected_only && n >= 1) {
-    std::erase_if(keys, [n](std::uint64_t key) {
-      return !is_connected(graph::from_key64(n, key));
-    });
+          order_range_message("all_graph_keys"));
+  const int threads = resolve_threads(options);
+  constexpr std::size_t shard_count = 128;
+  const enumeration_plan plan(n, shard_count, options);
+
+  std::vector<std::vector<std::uint64_t>> per_shard(shard_count);
+  parallel_for_chunks(
+      shard_count, threads, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t shard = begin; shard < end; ++shard) {
+          plan.for_each_key(shard, [&](std::uint64_t key) {
+            per_shard[shard].push_back(key);
+          });
+        }
+      });
+
+  std::size_t total = 0;
+  for (const auto& shard_keys : per_shard) total += shard_keys.size();
+  std::vector<std::uint64_t> keys;
+  keys.reserve(total);
+  for (const auto& shard_keys : per_shard) {
+    keys.insert(keys.end(), shard_keys.begin(), shard_keys.end());
   }
+  std::sort(keys.begin(), keys.end());
+  check_expected_count(n, options, keys.size(), "all_graph_keys");
   return keys;
 }
 
@@ -100,31 +290,20 @@ void for_each_graph_key_chunk(
     int n, const enumeration_options& options, std::size_t chunk_size,
     const std::function<void(std::span<const std::uint64_t>)>& fn) {
   expects(n >= 0 && n <= max_enumeration_order,
-          "for_each_graph_key_chunk: order out of range (max 10)");
+          order_range_message("for_each_graph_key_chunk"));
   expects(chunk_size >= 1, "for_each_graph_key_chunk: chunk_size >= 1");
-  const std::vector<std::uint64_t> level =
-      build_level(n, resolve_threads(options));
-  std::vector<std::uint64_t> filtered;
-  for (std::size_t begin = 0; begin < level.size(); begin += chunk_size) {
-    const std::size_t end = std::min(level.size(), begin + chunk_size);
-    std::span<const std::uint64_t> chunk(level.data() + begin, end - begin);
-    if (options.connected_only && n >= 1) {
-      filtered.clear();
-      for (const std::uint64_t key : chunk) {
-        if (is_connected(graph::from_key64(n, key))) filtered.push_back(key);
-      }
-      if (filtered.empty()) continue;
-      chunk = std::span<const std::uint64_t>(filtered);
-    }
-    fn(chunk);
+  const std::vector<std::uint64_t> keys = all_graph_keys(n, options);
+  for (std::size_t begin = 0; begin < keys.size(); begin += chunk_size) {
+    const std::size_t end = std::min(keys.size(), begin + chunk_size);
+    fn(std::span<const std::uint64_t>(keys.data() + begin, end - begin));
   }
 }
 
 void for_each_graph(int n, const std::function<void(const graph&)>& fn,
                     const enumeration_options& options) {
   for_each_graph_key_chunk(
-      n, {.connected_only = options.connected_only, .threads = options.threads},
-      std::size_t{1} << 16, [&](std::span<const std::uint64_t> chunk) {
+      n, options, std::size_t{1} << 16,
+      [&](std::span<const std::uint64_t> chunk) {
         for (const std::uint64_t key : chunk) {
           fn(graph::from_key64(n, key));
         }
@@ -139,19 +318,33 @@ std::vector<graph> all_graphs(int n, const enumeration_options& options) {
 }
 
 std::uint64_t count_graphs(int n, const enumeration_options& options) {
-  return all_graph_keys(n, options).size();
+  expects(n >= 0 && n <= max_enumeration_order,
+          order_range_message("count_graphs"));
+  const int threads = resolve_threads(options);
+  constexpr std::size_t shard_count = 128;
+  const enumeration_plan plan(n, shard_count, options);
+
+  std::vector<std::uint64_t> shard_counts(shard_count, 0);
+  parallel_for_chunks(
+      shard_count, threads, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t shard = begin; shard < end; ++shard) {
+          shard_counts[shard] = plan.for_each_key(shard, [](std::uint64_t) {});
+        }
+      });
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : shard_counts) total += count;
+  check_expected_count(n, options, total, "count_graphs");
+  return total;
 }
 
 std::vector<graph> all_trees(int n) {
   expects(n >= 1 && n <= max_enumeration_order,
-          "all_trees: order out of range (max 10)");
+          order_range_message("all_trees"));
   std::vector<graph> trees;
   for_each_graph(
-      n,
-      [&](const graph& g) {
-        if (g.size() == n - 1) trees.push_back(g);
-      },
-      {.connected_only = true});
+      n, [&](const graph& g) { trees.push_back(g); },
+      {.connected_only = true, .forests_only = true});
   return trees;
 }
 

@@ -1,11 +1,32 @@
 // Exhaustive enumeration of non-isomorphic graphs, the substrate for the
 // paper's empirical Section 5 ("enumeration of all connected topologies on
-// ten vertices"). Level k+1 is built from level k by attaching a new vertex
-// to every subset of existing vertices and deduplicating by canonical key.
-// Counts are validated against OEIS A000088 (all graphs) and A001349
-// (connected graphs) in the tests.
+// ten vertices").
+//
+// The generator is a McKay-style orderly / canonical-augmentation scheme:
+// each isomorphism class on k+1 vertices is emitted exactly once, from
+// exactly one canonical parent on k vertices, with NO global dedup state.
+//
+//   * From a parent P, a new vertex is attached to one representative
+//     attachment set per orbit of Aut(P) acting on subsets of V(P) (the
+//     generators come straight out of canonical_form), so no child class
+//     is built twice from the same parent.
+//   * A candidate child C is ACCEPTED iff its augmenting vertex lies in
+//     the same Aut(C)-orbit as the canonical deletion vertex — the vertex
+//     at the LAST position of C's canonical labeling. Since the labeling's
+//     first refinement orders degrees descending, that vertex always has
+//     minimum degree, which gives a cheap popcount pre-filter that rejects
+//     most candidates before any canonical form is computed.
+//
+// Every class therefore has a unique construction path from the empty
+// graph, which is what makes sharding exact: partitioning the classes at a
+// fixed split level partitions their whole descendant sets, so per-shard
+// outputs are disjoint and union to the full class set with zero
+// coordination. Counts are validated against OEIS A000088 (all graphs),
+// A001349 (connected), A005195 (forests) and A000055 (trees) in the tests
+// and by internal `ensures` checks.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -15,39 +36,108 @@
 
 namespace bnf {
 
-/// Largest order the enumerator accepts. Level 10 holds 12,005,168 graph
-/// classes (~100 MB of 64-bit keys) and takes minutes to build; level 11
-/// would need ~85x more work, beyond this tool's scope.
-inline constexpr int max_enumeration_order = 10;
+/// Largest order the enumerator accepts: C(11,2) = 55 upper-triangle bits
+/// is the most a 64-bit canonical key can hold. Level 11 holds
+/// 1,018,997,864 graph classes — only the sharded streaming API is
+/// realistic there; materializing the key vector would need ~8 GB.
+inline constexpr int max_enumeration_order = 11;
 
-/// Known counts of graphs on n = 0..10 vertices up to isomorphism
+/// Known counts of graphs on n = 0..11 vertices up to isomorphism
 /// (OEIS A000088), used for validation and pre-reserving.
-inline constexpr std::uint64_t known_graph_counts[11] = {
-    1, 1, 2, 4, 11, 34, 156, 1044, 12346, 274668, 12005168};
+inline constexpr std::uint64_t known_graph_counts[12] = {
+    1, 1, 2, 4, 11, 34, 156, 1044, 12346, 274668, 12005168, 1018997864};
 
-/// Known counts of *connected* graphs on n = 1..10 vertices up to
+/// Known counts of *connected* graphs on n = 1..11 vertices up to
 /// isomorphism (OEIS A001349); index 0 unused.
-inline constexpr std::uint64_t known_connected_graph_counts[11] = {
-    0, 1, 1, 2, 6, 21, 112, 853, 11117, 261080, 11716571};
+inline constexpr std::uint64_t known_connected_graph_counts[12] = {
+    0, 1, 1, 2, 6, 21, 112, 853, 11117, 261080, 11716571, 1006700565};
 
-/// Options for enumeration.
+/// Known counts of forests on n = 0..11 vertices (OEIS A005195).
+inline constexpr std::uint64_t known_forest_counts[12] = {
+    1, 1, 2, 3, 6, 10, 20, 37, 76, 153, 329, 710};
+
+/// Known counts of trees on n = 0..11 vertices (OEIS A000055).
+inline constexpr std::uint64_t known_tree_counts[12] = {
+    1, 1, 1, 1, 2, 3, 6, 11, 23, 47, 106, 235};
+
+/// Options for enumeration. The defaults are UNIFORM across every entry
+/// point — all_graph_keys, count_graphs, for_each_graph, all_graphs and
+/// the sharded streaming API all default to connected classes, so
+/// count_graphs(n) == all_graph_keys(n).size() out of the box.
 struct enumeration_options {
   bool connected_only{true};
+  /// Restrict GENERATION to acyclic graphs (a hereditary prune: every
+  /// construction-path ancestor of a forest is a forest, so whole
+  /// subtrees are skipped). Combined with connected_only this enumerates
+  /// exactly the trees — all_trees(11) touches 235 classes, not 1.01B.
+  bool forests_only{false};
   int threads{0};  // 0 = hardware concurrency
 };
 
-/// Canonical 64-bit keys of every graph class on n vertices, sorted.
-/// Deterministic. Requires 0 <= n <= max_enumeration_order.
-[[nodiscard]] std::vector<std::uint64_t> all_graph_keys(
-    int n, const enumeration_options& options = {.connected_only = false});
+/// Shared immutable fan-out state for sharded streaming enumeration: the
+/// canonical classes at a fixed split level (with their automorphism
+/// generators), built once and then expanded independently per shard.
+/// Seed i belongs to shard i % shard_count (strided, so dense and sparse
+/// subtrees mix and the shards balance); every class on n vertices
+/// descends from exactly one seed, so shards are exactly disjoint and
+/// union to the full class set. Build one plan and stream its shards
+/// concurrently — for_each_key is const and thread-safe across shards.
+class enumeration_plan {
+ public:
+  /// Requires 0 <= n <= max_enumeration_order and shard_count >= 1.
+  enumeration_plan(int n, std::size_t shard_count,
+                   const enumeration_options& options = {});
 
-/// Stream the sorted canonical keys in bounded chunks instead of handing
-/// out one n=10-sized vector: the full (unfiltered) level is built once,
-/// then `fn` receives consecutive sorted spans of at most `chunk_size`
-/// keys. With connected_only the filter runs per chunk into a scratch
-/// buffer, so no second filtered copy of the level ever exists — callers
-/// that only iterate (for_each_graph, golden diffs, spot checks) keep
-/// their peak at one level plus one chunk. Requires chunk_size >= 1.
+  [[nodiscard]] int order() const noexcept { return n_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shard_count_;
+  }
+
+  /// Stream every canonical key of shard `shard` in deterministic
+  /// generation order (NOT globally sorted; sort or merge if you need
+  /// order). Returns the number of keys emitted. Requires
+  /// shard < shard_count().
+  std::uint64_t for_each_key(
+      std::size_t shard,
+      const std::function<void(std::uint64_t)>& fn) const;
+
+ private:
+  struct seed {
+    graph g;  // construction-path labels (any labeling works)
+    std::vector<std::array<std::uint8_t, max_vertices>> generators;
+    std::uint64_t key;  // canonical key, for deterministic seed order
+  };
+
+  int n_{0};
+  std::size_t shard_count_{1};
+  bool connected_only_{true};
+  bool forests_only_{false};
+  int split_level_{0};
+  std::vector<seed> seeds_;
+};
+
+/// Stream one shard of the n-vertex classes through `fn` (canonical keys,
+/// deterministic generation order). Convenience wrapper that builds a
+/// throwaway enumeration_plan — callers touching several shards should
+/// build one plan and share it, as the engine does with its fixed 128-way
+/// scheme. Requires shard < shard_count.
+void for_each_graph_key_shard(int n, std::size_t shard,
+                              std::size_t shard_count,
+                              const std::function<void(std::uint64_t)>& fn,
+                              const enumeration_options& options = {});
+
+/// Canonical 64-bit keys of every graph class on n vertices, sorted.
+/// Deterministic. Requires 0 <= n <= max_enumeration_order. This
+/// MATERIALIZES the level — fine through n = 10 (~90 MB), absurd at
+/// n = 11 (~8 GB): use the sharded streaming API there.
+[[nodiscard]] std::vector<std::uint64_t> all_graph_keys(
+    int n, const enumeration_options& options = {});
+
+/// Stream the sorted canonical keys in bounded chunks: `fn` receives
+/// consecutive SORTED spans of at most `chunk_size` keys covering the
+/// whole level in increasing key order. Requires chunk_size >= 1. (Sorted
+/// order forces one materialized level; shard streaming avoids even
+/// that when order does not matter.)
 void for_each_graph_key_chunk(
     int n, const enumeration_options& options, std::size_t chunk_size,
     const std::function<void(std::span<const std::uint64_t>)>& fn);
@@ -61,11 +151,15 @@ void for_each_graph(int n, const std::function<void(const graph&)>& fn,
 [[nodiscard]] std::vector<graph> all_graphs(
     int n, const enumeration_options& options = {});
 
-/// Number of isomorphism classes on n vertices (connected or all).
+/// Number of isomorphism classes on n vertices. Streams the sharded
+/// generator — nothing is materialized, so every order the key space
+/// admits is countable.
 [[nodiscard]] std::uint64_t count_graphs(int n,
                                          const enumeration_options& options = {});
 
-/// All non-isomorphic trees on n vertices (filtered from the level).
+/// All non-isomorphic trees on n vertices, sorted by canonical key. The
+/// forest prune makes this near-instant at every supported order (235
+/// classes at n = 11), never touching the general census.
 [[nodiscard]] std::vector<graph> all_trees(int n);
 
 }  // namespace bnf

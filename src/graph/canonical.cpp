@@ -79,6 +79,7 @@ class canon_search {
       result.orbits[static_cast<std::size_t>(v)] = orbits_.find(v);
     }
     result.generators_found = static_cast<int>(generators_.size());
+    result.generators = std::move(generators_);  // after orbits_ is final
     return result;
   }
 

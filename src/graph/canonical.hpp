@@ -9,6 +9,7 @@
 // two graphs are isomorphic iff their canonical certificates coincide.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -28,6 +29,13 @@ struct canon_result {
   std::vector<int> orbits;
   /// Number of automorphism generators discovered during the search.
   int generators_found{0};
+  /// The discovered generators themselves, in ORIGINAL labels: for each
+  /// entry perm, perm[v] is the image of vertex v and only the first
+  /// order() slots are meaningful. By the standard partition-search
+  /// argument they generate the full automorphism group whenever the
+  /// generator cap is not hit (it never is for graphs of this size), which
+  /// is what the orderly enumerator's subset-orbit pruning relies on.
+  std::vector<std::array<std::uint8_t, max_vertices>> generators;
 };
 
 /// Compute the canonical form of g. O(poly) for the refinement; worst-case

@@ -193,7 +193,8 @@ TEST(CensusTest, ThreadCountsAgree) {
 TEST(CensusTest, Preconditions) {
   const std::array<double, 1> taus{1.0};
   EXPECT_THROW((void)census_sweep(1, taus), precondition_error);
-  EXPECT_THROW((void)census_sweep(11, taus), precondition_error);
+  EXPECT_THROW((void)census_sweep(max_enumeration_order + 1, taus),
+               precondition_error);
   const std::array<double, 1> bad{-1.0};
   EXPECT_THROW((void)census_sweep(5, bad), precondition_error);
   EXPECT_THROW((void)build_census_records(9), precondition_error);

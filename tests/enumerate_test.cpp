@@ -32,6 +32,20 @@ TEST_P(EnumerateCountSuite, ConnectedMatchesOeisA001349) {
 INSTANTIATE_TEST_SUITE_P(SmallOrders, EnumerateCountSuite,
                          ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8));
 
+TEST(EnumerateTest, DefaultOptionsAgreeAcrossEntryPoints) {
+  // Regression: all_graph_keys used to default {.connected_only = false}
+  // while the options struct (and thus count_graphs, for_each_graph,
+  // all_graphs) defaulted true, so count_graphs(n) and
+  // all_graph_keys(n).size() silently disagreed out of the box.
+  const auto keys = all_graph_keys(6);
+  EXPECT_EQ(count_graphs(6), keys.size());
+  EXPECT_EQ(keys.size(), known_connected_graph_counts[6]);
+  EXPECT_EQ(all_graphs(6).size(), keys.size());
+  int streamed = 0;
+  for_each_graph(6, [&](const graph&) { ++streamed; });
+  EXPECT_EQ(static_cast<std::uint64_t>(streamed), count_graphs(6));
+}
+
 TEST(EnumerateTest, KeysAreSortedUniqueCanonical) {
   const auto keys = all_graph_keys(6, {.connected_only = false});
   ASSERT_EQ(keys.size(), 156U);
@@ -75,14 +89,18 @@ TEST(EnumerateTest, ContainsKnownGraphs) {
 }
 
 TEST(EnumerateTest, TreeCountsMatchOeisA000055) {
-  // Non-isomorphic trees on n vertices: 1,1,1,1,2,3,6,11,23,47.
-  EXPECT_EQ(all_trees(1).size(), 1U);
-  EXPECT_EQ(all_trees(4).size(), 2U);
-  EXPECT_EQ(all_trees(5).size(), 3U);
-  EXPECT_EQ(all_trees(6).size(), 6U);
-  EXPECT_EQ(all_trees(7).size(), 11U);
-  EXPECT_EQ(all_trees(8).size(), 23U);
-  for (const graph& t : all_trees(7)) EXPECT_TRUE(is_tree(t));
+  // Non-isomorphic trees on n vertices: 1,1,1,1,2,3,6,11,23,47,106,235.
+  // The forest prune makes every order cheap — n = 11 (235 trees) never
+  // touches the 1.01B-class general census.
+  for (int n = 1; n <= max_enumeration_order; ++n) {
+    const auto trees = all_trees(n);
+    EXPECT_EQ(trees.size(), known_tree_counts[static_cast<std::size_t>(n)])
+        << n;
+    for (const graph& t : trees) {
+      ASSERT_TRUE(is_tree(t)) << to_string(t);
+      ASSERT_EQ(t.order(), n);
+    }
+  }
 }
 
 TEST(EnumerateTest, EdgeCountDistributionRow) {
@@ -117,9 +135,16 @@ TEST(EnumerateTest, NineVertexCountsMatchOeis) {
 }
 
 TEST(EnumerateTest, GuardsOrderRange) {
-  EXPECT_THROW((void)all_graph_keys(11), precondition_error);
+  EXPECT_THROW((void)all_graph_keys(max_enumeration_order + 1),
+               precondition_error);
   EXPECT_THROW((void)all_graph_keys(-1), precondition_error);
+  EXPECT_THROW((void)count_graphs(max_enumeration_order + 1),
+               precondition_error);
   EXPECT_THROW((void)all_trees(0), precondition_error);
+  EXPECT_THROW((void)all_trees(max_enumeration_order + 1),
+               precondition_error);
+  EXPECT_THROW(for_each_graph_key_shard(4, 2, 2, [](std::uint64_t) {}),
+               precondition_error);
 }
 
 TEST(EnumerateTest, SingleThreadMatchesParallel) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "gen/enumerate.hpp"
 #include "util/contracts.hpp"
 
 namespace bnf {
@@ -156,7 +157,8 @@ TEST(PoaStreamTest, StreamCoversN9BeyondTheRecordGuard) {
 
 TEST(PoaStreamTest, Preconditions) {
   EXPECT_THROW((void)stream_poa_curve(1), precondition_error);
-  EXPECT_THROW((void)stream_poa_curve(11), precondition_error);
+  EXPECT_THROW((void)stream_poa_curve(max_enumeration_order + 1),
+               precondition_error);
 }
 
 }  // namespace
