@@ -11,6 +11,7 @@
 #include "analysis/sweep.hpp"
 #include "equilibria/ucg_nash.hpp"
 #include "gen/enumerate.hpp"
+#include "util/mem.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -46,7 +47,9 @@ int main() {
   std::printf("  \"census_dense_s\": %.3f,\n", dense_s);
   std::printf("  \"per_alpha_nash_searches\": %lld,\n", searches);
   std::printf("  \"poa_curve_breakpoints\": %zu,\n", curve.breakpoints.size());
-  std::printf("  \"poa_curve_s\": %.3f\n", curve_s);
+  std::printf("  \"poa_curve_s\": %.3f,\n", curve_s);
+  std::printf("  \"peak_rss_bytes\": %llu\n",
+              static_cast<unsigned long long>(bnf::peak_rss_bytes()));
   std::printf("}\n");
   return 0;
 }

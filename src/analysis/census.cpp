@@ -10,7 +10,10 @@
 #include "game/efficiency.hpp"
 #include "gen/enumerate.hpp"
 #include "graph/paths.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bnf {
@@ -67,6 +70,17 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
   std::vector<std::vector<equilibrium_accumulator>> ucg_shard(
       shard_count, std::vector<equilibrium_accumulator>(grid));
 
+  // Telemetry: registry references resolved once; each shard flushes one
+  // counter add and one histogram record, so the per-topology path stays
+  // untouched.
+  obs::counter& shards_done = obs::get_counter(obs::names::shards_done);
+  obs::counter& topologies_profiled =
+      obs::get_counter(obs::names::topologies_profiled);
+  obs::histogram& shard_wall = obs::get_histogram(obs::names::shard_wall_ms);
+  obs::histogram& shard_sizes =
+      obs::get_histogram(obs::names::shard_topologies);
+  obs::get_counter(obs::names::shards_planned).add(shard_count);
+
   const int threads =
       options.threads > 0 ? options.threads : default_thread_count();
   parallel_for_chunks(shard_count, threads, [&](std::size_t shard_begin,
@@ -75,9 +89,13 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
     // shards reuses the same DFS scratch (ROADMAP micro-opt).
     ucg_region_workspace scratch;
     for (std::size_t shard = shard_begin; shard < shard_end; ++shard) {
+      obs::trace_span span("census.shard");
+      span.arg("shard", shard);
+      stopwatch shard_timer;
       auto& bcg_local = bcg_shard[shard];
       auto& ucg_local = ucg_shard[shard];
-      plan.for_each_key(shard, [&](std::uint64_t key) {
+      const std::uint64_t shard_topology_count =
+          plan.for_each_key(shard, [&](std::uint64_t key) {
         const graph g = graph::from_key64(n, key);
         // ONE stability analysis per topology; the grid loop below is
         // pure exact interval membership, so the sweep's cost does not
@@ -105,6 +123,12 @@ std::vector<census_point> census_sweep(int n, std::span<const double> taus,
           }
         }
       });
+      span.arg("topologies", shard_topology_count);
+      shards_done.add(1);
+      topologies_profiled.add(shard_topology_count);
+      shard_wall.record(
+          static_cast<std::uint64_t>(shard_timer.seconds() * 1000.0));
+      shard_sizes.record(shard_topology_count);
     }
   });
 

@@ -10,7 +10,10 @@
 #include "game/connection_game.hpp"
 #include "game/efficiency.hpp"
 #include "gen/enumerate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bnf {
@@ -408,6 +411,21 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
   std::vector<std::vector<poa_breakpoint>> threshold_shard(shard_count);
   std::vector<std::uint64_t> count_shard(shard_count, 0);
 
+  // Telemetry: resolve the registry references once, outside the hot
+  // loops — counter updates inside the shard bodies are then single
+  // relaxed atomic adds, flushed at per-shard granularity.
+  obs::counter& shards_planned = obs::get_counter(obs::names::shards_planned);
+  obs::counter& shards_done = obs::get_counter(obs::names::shards_done);
+  obs::counter& topologies_profiled =
+      obs::get_counter(obs::names::topologies_profiled);
+  obs::counter& arena_bytes = obs::get_counter(obs::names::profile_arena_bytes);
+  obs::counter& profile_spills = obs::get_counter(obs::names::profile_spills);
+  obs::counter& spill_hits = obs::get_counter(obs::names::spill_hits);
+  obs::histogram& shard_wall = obs::get_histogram(obs::names::shard_wall_ms);
+  obs::histogram& shard_sizes =
+      obs::get_histogram(obs::names::shard_topologies);
+  shards_planned.add(2 * shard_count);  // both passes walk every shard
+
   parallel_for_chunks(
       shard_count, threads, [&](std::size_t shard_begin,
                                 std::size_t shard_end) {
@@ -415,6 +433,9 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
         // topology this worker profiles.
         ucg_region_workspace scratch;
         for (std::size_t shard = shard_begin; shard < shard_end; ++shard) {
+          obs::trace_span span("poa.pass1.shard");
+          span.arg("shard", shard);
+          stopwatch shard_timer;
           auto& thresholds = threshold_shard[shard];
           if (cache_profiles) {
             arena[shard].reserve(
@@ -443,6 +464,16 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
             }
           });
           thresholds = merge_breakpoints(std::move(thresholds));
+          span.arg("topologies", count_shard[shard]);
+          shards_done.add(1);
+          topologies_profiled.add(count_shard[shard]);
+          if (cache_profiles) {
+            arena_bytes.add(arena[shard].size() * sizeof(packed_profile));
+            profile_spills.add(spill_shard[shard].size());
+          }
+          shard_wall.record(static_cast<std::uint64_t>(
+              shard_timer.seconds() * 1000.0));
+          shard_sizes.record(count_shard[shard]);
         }
       });
 
@@ -457,14 +488,20 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
   // list depends only on the union of the sets, so it is identical across
   // thread counts — and identical to the record path's list, which notes
   // the same thresholds from the same profiles.
-  std::vector<poa_breakpoint> all_thresholds;
-  for (std::size_t shard = 0; shard < shard_count; ++shard) {
-    all_thresholds.insert(all_thresholds.end(), threshold_shard[shard].begin(),
-                          threshold_shard[shard].end());
-    threshold_shard[shard].clear();
-    threshold_shard[shard].shrink_to_fit();
+  {
+    obs::trace_span merge_span("poa.merge_breakpoints");
+    std::vector<poa_breakpoint> all_thresholds;
+    for (std::size_t shard = 0; shard < shard_count; ++shard) {
+      all_thresholds.insert(all_thresholds.end(),
+                            threshold_shard[shard].begin(),
+                            threshold_shard[shard].end());
+      threshold_shard[shard].clear();
+      threshold_shard[shard].shrink_to_fit();
+    }
+    summary.breakpoints = merge_breakpoints(std::move(all_thresholds));
+    merge_span.arg("breakpoints",
+                   static_cast<std::uint64_t>(summary.breakpoints.size()));
   }
-  summary.breakpoints = merge_breakpoints(std::move(all_thresholds));
 
   for (const auto& shard_map : spill_shard) {
     summary.spilled_profiles += shard_map.size();
@@ -493,6 +530,10 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
         ucg_region_workspace scratch;
         alpha_interval_set unpacked_ucg;  // reused across topologies
         for (std::size_t shard = shard_begin; shard < shard_end; ++shard) {
+          obs::trace_span span("poa.pass2.shard");
+          span.arg("shard", shard);
+          stopwatch shard_timer;
+          std::uint64_t shard_spill_hits = 0;
           auto& bcg_acc = bcg_shard[shard];
           auto& ucg_acc = ucg_shard[shard];
           if (cache_profiles) {
@@ -504,6 +545,7 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
               const packed_profile& packed = shard_arena[i];
               if ((packed.flags & flag_spill) != 0) {
                 const spilled_profile& full = shard_spill.at(i);
+                ++shard_spill_hits;
                 accumulate_topology(grid, full.bcg_interval, full.ucg,
                                     full.edges, full.distance_total, bcg_acc,
                                     ucg_acc);
@@ -529,11 +571,16 @@ poa_curve_summary stream_poa_curve(int n, const poa_stream_options& options) {
                                   bcg_acc, ucg_acc);
             });
           }
+          shards_done.add(1);
+          if (shard_spill_hits > 0) spill_hits.add(shard_spill_hits);
+          shard_wall.record(static_cast<std::uint64_t>(
+              shard_timer.seconds() * 1000.0));
         }
       });
 
   // Fixed-order shard merge; the accumulator is exactly associative, so
   // this is byte-stable no matter how the shards were scheduled.
+  obs::trace_span reduce_span("poa.reduce");
   std::vector<equilibrium_accumulator> bcg_total(grid.size());
   std::vector<equilibrium_accumulator> ucg_total(grid.size());
   for (std::size_t shard = 0; shard < shard_count; ++shard) {

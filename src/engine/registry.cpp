@@ -1,11 +1,17 @@
 #include "engine/registry.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "engine/sink.hpp"
 #include "engine/version.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
+#include "util/file_io.hpp"
+#include "util/mem.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -14,10 +20,11 @@ namespace bnf {
 namespace {
 
 // Flags the engine owns; every scenario gets them, and they are excluded
-// from the deterministic run metadata (they select execution resources and
-// exports, not experiment content).
-constexpr const char* engine_flag_names[] = {"threads", "jsonl", "csv",
-                                             "timing"};
+// from the deterministic run metadata (they select execution resources,
+// exports and telemetry side channels, not experiment content).
+constexpr const char* engine_flag_names[] = {"threads", "jsonl",    "csv",
+                                             "timing",  "metrics", "trace",
+                                             "progress"};
 
 void add_engine_flags(arg_parser& args) {
   args.add_int("threads", 0, "worker threads (0 = hardware)");
@@ -26,6 +33,16 @@ void add_engine_flags(arg_parser& args) {
   args.add_string("csv", "", "also write the result tables to this CSV file");
   args.add_flag("timing", "append a wall-time footer record to the JSONL "
                           "output (breaks byte-reproducibility)");
+  args.add_string("metrics", "",
+                  "write the run's metrics registry (counters, gauges, "
+                  "histograms) as a JSON object to this file");
+  args.add_string("trace", "",
+                  "write a Chrome trace-event JSON of the run's phase and "
+                  "shard spans to this file (load in Perfetto)");
+  args.add_opt_double("progress", 0, 5,
+                      "print a heartbeat to stderr every [value] seconds "
+                      "(bare --progress = every 5 s): shards done/total, "
+                      "topologies/s, ETA, peak RSS");
 }
 
 bool is_engine_flag(const std::string& name) {
@@ -105,9 +122,51 @@ int run_scenario_main(const scenario& entry, int argc,
     run_context ctx{args,
                     requested > 0 ? requested : default_thread_count(),
                     meta.seed, out, sinks};
+
+    // Telemetry side channels: all three write ONLY to their own outputs
+    // (a metrics file, a trace file, stderr), so attaching them cannot
+    // change a result byte — the obs_test determinism suite pins this.
+    const std::string metrics_path = args.get_string("metrics");
+    const std::string trace_path = args.get_string("trace");
+    if (!trace_path.empty()) obs::trace_session::begin();
+    const auto counters_before =
+        obs::metrics_registry::global().counter_snapshot();
+    const std::uint64_t shards_before =
+        obs::get_counter(obs::names::shards_done).value();
+    std::optional<obs::progress_reporter> progress;
+    if (args.was_set("progress")) {
+      progress.emplace(args.get_double("progress"), std::cerr);
+    }
+
     stopwatch timer;
-    const int code = entry.run(ctx);
-    sinks.end_run(timer.seconds());
+    int code = 0;
+    {
+      obs::trace_span run_span("scenario.run");
+      run_span.arg("scenario", entry.name());
+      code = entry.run(ctx);
+    }
+
+    run_footer footer;
+    footer.wall_seconds = timer.seconds();
+    footer.threads = ctx.threads;
+    footer.shards =
+        obs::get_counter(obs::names::shards_done).value() - shards_before;
+    progress.reset();  // stop the heartbeat before the summary writes
+    footer.peak_rss_bytes = peak_rss_bytes();
+    footer.metrics_json = obs::metrics_registry::global().counters_delta_json(
+        counters_before);
+    if (!trace_path.empty()) obs::trace_session::end_to_file(trace_path);
+    if (!metrics_path.empty()) {
+      std::ofstream metrics_out = open_for_write(metrics_path, "metrics");
+      metrics_out << "{\"scenario\":\"" << json_escape(entry.name())
+                  << "\",\"wall_s\":" << footer.wall_seconds
+                  << ",\"threads\":" << footer.threads
+                  << ",\"peak_rss_bytes\":" << footer.peak_rss_bytes
+                  << ",\"metrics\":"
+                  << obs::metrics_registry::global().to_json() << "}\n";
+      flush_or_throw(metrics_out, metrics_path, "metrics");
+    }
+    sinks.end_run(footer);
     return code;
   } catch (const std::exception& error) {
     std::cerr << "bilatnet: " << entry.name() << ": " << error.what() << "\n";

@@ -66,10 +66,17 @@ void jsonl_sink::write_table(const std::string& name,
   }
 }
 
-void jsonl_sink::end_run(double wall_seconds) {
+void jsonl_sink::end_run(const run_footer& footer) {
   if (include_timing_) {
     out_ << "{\"type\":\"footer\",\"rows\":" << rows_written_
-         << ",\"wall_s\":" << wall_seconds << "}\n";
+         << ",\"wall_s\":" << footer.wall_seconds
+         << ",\"threads\":" << footer.threads
+         << ",\"shards\":" << footer.shards
+         << ",\"peak_rss_bytes\":" << footer.peak_rss_bytes;
+    if (!footer.metrics_json.empty()) {
+      out_ << ",\"metrics\":" << footer.metrics_json;
+    }
+    out_ << "}\n";
   }
   flush_or_throw(out_, path_, "jsonl_sink");
 }
@@ -85,7 +92,7 @@ void csv_sink::write_table(const std::string& name, const text_table& table) {
   ++tables_written_;
 }
 
-void csv_sink::end_run(double) {
+void csv_sink::end_run(const run_footer&) {
   flush_or_throw(out_, path_, "csv_sink");
 }
 
@@ -101,8 +108,8 @@ void sink_list::write_table(const std::string& name, const text_table& table) {
   for (const auto& sink : sinks_) sink->write_table(name, table);
 }
 
-void sink_list::end_run(double wall_seconds) {
-  for (const auto& sink : sinks_) sink->end_run(wall_seconds);
+void sink_list::end_run(const run_footer& footer) {
+  for (const auto& sink : sinks_) sink->end_run(footer);
 }
 
 }  // namespace bnf

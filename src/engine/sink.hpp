@@ -29,14 +29,32 @@ struct run_metadata {
   std::vector<std::pair<std::string, std::string>> params;
 };
 
+/// Runtime diagnostics of one finished run. None of these affect results
+/// — they only surface in the opt-in timing footer, never in row data.
+struct run_footer {
+  double wall_seconds{0};
+  /// Resolved worker count the run executed with (0 = not recorded).
+  int threads{0};
+  /// Work shards completed during the run (engine.shards_done delta; 0
+  /// for scenarios with no shard structure).
+  std::uint64_t shards{0};
+  /// Peak RSS of the process at end of run (util/mem probe; 0 when the
+  /// platform has no probe).
+  std::uint64_t peak_rss_bytes{0};
+  /// Pre-rendered JSON object of the run's counter increments (obs
+  /// metrics registry delta), or empty to omit the summary block.
+  std::string metrics_json;
+};
+
 /// Interface every exporter implements.
 class result_sink {
  public:
   virtual ~result_sink();
   virtual void begin_run(const run_metadata& meta) = 0;
   virtual void write_table(const std::string& name, const text_table& table) = 0;
-  /// Called once after the scenario finishes, with the measured wall time.
-  virtual void end_run(double wall_seconds) = 0;
+  /// Called once after the scenario finishes, with the measured wall time
+  /// and runtime diagnostics.
+  virtual void end_run(const run_footer& footer) = 0;
 };
 
 /// Escape a string for inclusion in a JSON string literal (quotes excluded).
@@ -45,7 +63,8 @@ class result_sink {
 /// JSON Lines exporter. Records:
 ///   {"type":"meta","scenario":...,"seed":N,"git":...,"params":{...}}
 ///   {"type":"row","table":<name>,"values":{<header>:<cell>,...}}
-///   {"type":"footer","rows":N,"wall_s":...}        (only with timing on)
+///   {"type":"footer","rows":N,"wall_s":...,"threads":T,"shards":S,
+///    "peak_rss_bytes":B,"metrics":{...}}          (only with timing on)
 /// Cell values are the already-formatted table strings, so the payload is
 /// exactly what the text tables show.
 class jsonl_sink final : public result_sink {
@@ -57,7 +76,7 @@ class jsonl_sink final : public result_sink {
 
   void begin_run(const run_metadata& meta) override;
   void write_table(const std::string& name, const text_table& table) override;
-  void end_run(double wall_seconds) override;
+  void end_run(const run_footer& footer) override;
 
  private:
   std::string path_;
@@ -75,7 +94,7 @@ class csv_sink final : public result_sink {
 
   void begin_run(const run_metadata& meta) override;
   void write_table(const std::string& name, const text_table& table) override;
-  void end_run(double wall_seconds) override;
+  void end_run(const run_footer& footer) override;
 
  private:
   std::string path_;
@@ -91,7 +110,7 @@ class sink_list {
 
   void begin_run(const run_metadata& meta);
   void write_table(const std::string& name, const text_table& table);
-  void end_run(double wall_seconds);
+  void end_run(const run_footer& footer);
 
  private:
   std::vector<std::unique_ptr<result_sink>> sinks_;

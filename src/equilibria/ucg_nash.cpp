@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <cmath>
 #include <limits>
 #include <unordered_map>
 
 #include "equilibria/pairwise_stability.hpp"
 #include "graph/paths.hpp"
+#include "obs/metrics.hpp"
 #include "util/bitops.hpp"
 #include "util/contracts.hpp"
 
@@ -16,7 +16,17 @@ namespace bnf {
 
 namespace {
 
-std::atomic<long long> nash_search_invocations{0};
+// Both search entry points count through the process-wide metrics registry;
+// the counter references are resolved once (registry lookup takes a mutex).
+obs::counter& nash_search_counter() {
+  static obs::counter& c = obs::get_counter(obs::names::nash_searches);
+  return c;
+}
+
+obs::counter& region_search_counter() {
+  static obs::counter& c = obs::get_counter(obs::names::region_searches);
+  return c;
+}
 
 // Shared deviation scan: calls `on_candidate(cost, subset)` for every
 // feasible (connected) deviation subset whose lower bound does not already
@@ -326,6 +336,7 @@ ucg_region_result ucg_nash_alpha_region(const graph& g,
                                         ucg_region_workspace& scratch) {
   expects(g.order() >= 1 && g.order() <= 16,
           "ucg_nash_alpha_region: guard n <= 16 (exact search)");
+  region_search_counter().add(1);
   ucg_region_result result;
   if (g.order() == 1) {
     // A lone player buys nothing and reaches everyone: Nash at any cost.
@@ -437,7 +448,7 @@ alpha_interval ucg_nash_interval(const graph& g) {
 }
 
 long long ucg_nash_search_invocations() {
-  return nash_search_invocations.load();
+  return static_cast<long long>(nash_search_counter().value());
 }
 
 double ucg_best_response_cost(const graph& g, double alpha, int i,
@@ -477,7 +488,7 @@ ucg_nash_result ucg_nash_supportable(const graph& g, double alpha,
   expects(g.order() >= 1 && g.order() <= 16,
           "ucg_nash_supportable: guard n <= 16 (exact search)");
   expects(alpha > 0, "ucg_nash_supportable: requires alpha > 0");
-  nash_search_invocations.fetch_add(1, std::memory_order_relaxed);
+  nash_search_counter().add(1);
 
   ucg_nash_result result;
   if (!is_connected(g)) return result;

@@ -7,6 +7,7 @@
 
 #include "graph/canonical.hpp"
 #include "graph/paths.hpp"
+#include "obs/metrics.hpp"
 #include "util/bitops.hpp"
 #include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
@@ -16,6 +17,33 @@ namespace bnf {
 namespace {
 
 using aut_generators = std::vector<std::array<std::uint8_t, max_vertices>>;
+
+// Batched generator telemetry: the per-candidate path only bumps plain
+// local integers; one flush per shard (or per seed-level chunk) turns the
+// batch into four relaxed atomic adds, so the metrics registry never shows
+// up in the augmentation hot loop.
+struct orderly_stats {
+  std::uint64_t candidates{0};
+  std::uint64_t prefilter_rejects{0};
+  std::uint64_t orbit_rejects{0};
+  std::uint64_t accepts{0};
+};
+
+void flush_orderly_stats(const orderly_stats& stats) {
+  static obs::counter& candidates =
+      obs::get_counter(obs::names::orderly_candidates);
+  static obs::counter& prefilter_rejects =
+      obs::get_counter(obs::names::orderly_prefilter_rejects);
+  static obs::counter& orbit_rejects =
+      obs::get_counter(obs::names::orderly_orbit_rejects);
+  static obs::counter& accepts = obs::get_counter(obs::names::orderly_accepts);
+  if (stats.candidates > 0) candidates.add(stats.candidates);
+  if (stats.prefilter_rejects > 0) {
+    prefilter_rejects.add(stats.prefilter_rejects);
+  }
+  if (stats.orbit_rejects > 0) orbit_rejects.add(stats.orbit_rejects);
+  if (stats.accepts > 0) accepts.add(stats.accepts);
+}
 
 std::string order_range_message(const char* function) {
   return std::string(function) + ": order out of range (max " +
@@ -61,7 +89,7 @@ std::uint64_t permuted_mask(
 // and the exactly-once guarantee carries over unchanged.
 template <typename Sink>
 void augment_once(const graph& parent, const aut_generators& gens,
-                  bool forests_only, Sink&& sink) {
+                  bool forests_only, orderly_stats& stats, Sink&& sink) {
   const int k = parent.order();
   graph child = parent.with_vertex();
 
@@ -108,6 +136,7 @@ void augment_once(const graph& parent, const aut_generators& gens,
     for_each_bit(child.neighbors(k), [&](int w) { child.remove_edge(k, w); });
     for_each_bit(subset, [&](int w) { child.add_edge(k, w); });
 
+    ++stats.candidates;
     const int new_degree = popcount(subset);
     bool above_minimum = false;
     for (int u = 0; u < k; ++u) {
@@ -116,14 +145,19 @@ void augment_once(const graph& parent, const aut_generators& gens,
         break;
       }
     }
-    if (above_minimum) continue;
+    if (above_minimum) {
+      ++stats.prefilter_rejects;
+      continue;
+    }
 
     canon_result canon = canonical_form(child);
     const int deletion = canon.labeling[static_cast<std::size_t>(k)];
     if (canon.orbits[static_cast<std::size_t>(k)] !=
         canon.orbits[static_cast<std::size_t>(deletion)]) {
+      ++stats.orbit_rejects;
       continue;
     }
+    ++stats.accepts;
     sink(child, std::move(canon));
   }
 }
@@ -134,10 +168,10 @@ void augment_once(const graph& parent, const aut_generators& gens,
 // are tried in fixed ascending order.
 std::uint64_t expand_to_target(const graph& parent, const aut_generators& gens,
                                int target, bool connected_only,
-                               bool forests_only,
+                               bool forests_only, orderly_stats& stats,
                                const std::function<void(std::uint64_t)>& fn) {
   std::uint64_t emitted = 0;
-  augment_once(parent, gens, forests_only,
+  augment_once(parent, gens, forests_only, stats,
                [&](const graph& child, canon_result&& canon) {
                  if (child.order() == target) {
                    if (connected_only && !is_connected(child)) return;
@@ -146,7 +180,7 @@ std::uint64_t expand_to_target(const graph& parent, const aut_generators& gens,
                  } else {
                    emitted += expand_to_target(child, canon.generators, target,
                                                connected_only, forests_only,
-                                               fn);
+                                               stats, fn);
                  }
                });
   return emitted;
@@ -205,14 +239,17 @@ enumeration_plan::enumeration_plan(int n, std::size_t shard_count,
     parallel_for_chunks(
         seeds_.size(), threads, [&](std::size_t begin, std::size_t end) {
           std::vector<seed> local;
+          orderly_stats stats;
           for (std::size_t p = begin; p < end; ++p) {
             augment_once(seeds_[p].g, seeds_[p].generators, forests_only_,
+                         stats,
                          [&](const graph& child, canon_result&& canon) {
                            local.push_back(
                                seed{child, std::move(canon.generators),
                                     canon.canonical.key64()});
                          });
           }
+          flush_orderly_stats(stats);
           const std::lock_guard<std::mutex> lock(merge_mutex);
           next.insert(next.end(), std::make_move_iterator(local.begin()),
                       std::make_move_iterator(local.end()));
@@ -239,10 +276,12 @@ std::uint64_t enumeration_plan::for_each_key(
     return 1;
   }
   std::uint64_t emitted = 0;
+  orderly_stats stats;
   for (std::size_t i = shard; i < seeds_.size(); i += shard_count_) {
     emitted += expand_to_target(seeds_[i].g, seeds_[i].generators, n_,
-                                connected_only_, forests_only_, fn);
+                                connected_only_, forests_only_, stats, fn);
   }
+  flush_orderly_stats(stats);
   return emitted;
 }
 

@@ -1,0 +1,165 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <ostream>
+#include <sstream>
+
+namespace bnf::obs {
+
+int this_thread_slot() noexcept {
+  static std::atomic<int> next_slot{0};
+  thread_local const int slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void histogram::record(std::uint64_t sample) noexcept {
+  buckets_[std::bit_width(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (sample < seen && !min_.compare_exchange_weak(
+                              seen, sample, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen && !max_.compare_exchange_weak(
+                              seen, sample, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t histogram::min() const noexcept {
+  const std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  return seen == ~std::uint64_t{0} ? 0 : seen;
+}
+
+std::uint64_t histogram::percentile(double p) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0 || p <= 0) return 0;
+  if (p > 100) p = 100;
+  // Rank of the requested sample, 1-based; ceil without FP edge cases.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (static_cast<double>(rank) * 100.0 < p * static_cast<double>(total)) {
+    ++rank;
+  }
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < bucket_count; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      // Upper bound of bucket b: 0 for {0}, 2^b - 1 otherwise.
+      return b == 0 ? 0 : (b == 64 ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << b) - 1);
+    }
+  }
+  return max();  // concurrent writers moved count past the buckets read
+}
+
+metrics_registry& metrics_registry::global() {
+  static metrics_registry registry;
+  return registry;
+}
+
+counter& metrics_registry::counter_ref(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+gauge& metrics_registry::gauge_ref(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+histogram& metrics_registry::histogram_ref(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+void metrics_registry::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, metric] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << metric.value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, metric] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"value\":" << metric.value()
+        << ",\"max\":" << metric.max_value() << "}";
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, metric] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << metric.count()
+        << ",\"sum\":" << metric.sum() << ",\"min\":" << metric.min()
+        << ",\"max\":" << metric.max()
+        << ",\"p50\":" << metric.percentile(50)
+        << ",\"p90\":" << metric.percentile(90)
+        << ",\"p99\":" << metric.percentile(99) << "}";
+  }
+  out << "}}";
+}
+
+std::string metrics_registry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+std::map<std::string, std::uint64_t> metrics_registry::counter_snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> snapshot;
+  for (const auto& [name, metric] : counters_) {
+    snapshot.emplace(name, metric.value());
+  }
+  return snapshot;
+}
+
+std::string metrics_registry::counters_delta_json(
+    const std::map<std::string, std::uint64_t>& before) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, metric] : counters_) {
+    const std::uint64_t now = metric.value();
+    const auto it = before.find(name);
+    const std::uint64_t delta = now - (it == before.end() ? 0 : it->second);
+    if (delta == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << delta;
+  }
+  out << "}";
+  return out.str();
+}
+
+counter& get_counter(std::string_view name) {
+  return metrics_registry::global().counter_ref(name);
+}
+
+gauge& get_gauge(std::string_view name) {
+  return metrics_registry::global().gauge_ref(name);
+}
+
+histogram& get_histogram(std::string_view name) {
+  return metrics_registry::global().histogram_ref(name);
+}
+
+}  // namespace bnf::obs

@@ -1,0 +1,133 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/mem.hpp"
+
+namespace bnf::obs {
+
+namespace {
+
+constexpr double default_interval_s = 5.0;
+
+// "3.1M", "261.3k", "912" — compact counts for a one-line heartbeat.
+std::string compact_count(double value) {
+  char buffer[32];
+  if (value >= 1e9) {
+    std::snprintf(buffer, sizeof buffer, "%.2fB", value / 1e9);
+  } else if (value >= 1e6) {
+    std::snprintf(buffer, sizeof buffer, "%.1fM", value / 1e6);
+  } else if (value >= 1e4) {
+    std::snprintf(buffer, sizeof buffer, "%.1fk", value / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+  }
+  return buffer;
+}
+
+std::string compact_seconds(double seconds) {
+  char buffer[32];
+  if (seconds >= 3600) {
+    std::snprintf(buffer, sizeof buffer, "%.1fh", seconds / 3600);
+  } else if (seconds >= 90) {
+    std::snprintf(buffer, sizeof buffer, "%.1fm", seconds / 60);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.0fs", seconds);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+progress_reporter::progress_reporter(double interval_seconds,
+                                     std::ostream& err)
+    : err_(err), start_(std::chrono::steady_clock::now()) {
+  base_planned_ = get_counter(names::shards_planned).value();
+  base_done_ = get_counter(names::shards_done).value();
+  base_topologies_ = get_counter(names::topologies_profiled).value();
+  if (interval_seconds <= 0) interval_seconds = default_interval_s;
+  monitor_ = std::thread([this, interval_seconds] {
+    monitor_loop(interval_seconds);
+  });
+}
+
+progress_reporter::~progress_reporter() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  stop_wake_.notify_all();
+  monitor_.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  print_line(elapsed, /*final_line=*/true);
+}
+
+void progress_reporter::monitor_loop(double interval_seconds) {
+  const auto interval = std::chrono::duration<double>(interval_seconds);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (stop_wake_.wait_for(lock, interval, [this] { return stopping_; })) {
+      return;  // destructor prints the final line
+    }
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    print_line(elapsed, /*final_line=*/false);
+  }
+}
+
+void progress_reporter::print_line(double elapsed_s, bool final_line) {
+  const std::uint64_t planned =
+      get_counter(names::shards_planned).value() - base_planned_;
+  const std::uint64_t done =
+      get_counter(names::shards_done).value() - base_done_;
+  const std::uint64_t topologies =
+      get_counter(names::topologies_profiled).value() - base_topologies_;
+  if (final_line && !printed_) return;  // run ended before the first tick
+  printed_ = true;
+
+  std::string line = "[bilatnet " + compact_seconds(elapsed_s) + "]";
+  if (planned > 0) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, " shards %llu/%llu (%.1f%%)",
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(planned),
+                  100.0 * static_cast<double>(done) /
+                      static_cast<double>(planned));
+    line += buffer;
+  }
+  if (topologies > 0) {
+    line += " | " + compact_count(static_cast<double>(topologies)) +
+            " topologies";
+    const double dt = elapsed_s - last_tick_s_;
+    const double rate =
+        dt > 0 ? static_cast<double>(topologies - last_topologies_) / dt : 0;
+    if (rate > 0 && !final_line) {
+      line += " (" + compact_count(rate) + "/s)";
+    }
+  }
+  if (!final_line && planned > 0 && done > 0 && done < planned) {
+    // ETA from the average pace of the shards completed so far.
+    const double per_shard = elapsed_s / static_cast<double>(done);
+    line += " | eta " +
+            compact_seconds(per_shard * static_cast<double>(planned - done));
+  }
+  if (final_line) line += " | done";
+  if (const std::uint64_t rss = peak_rss_bytes(); rss > 0) {
+    line += " | rss " +
+            compact_count(static_cast<double>(rss) / (1024.0 * 1024.0)) +
+            " MB";
+  }
+  err_ << line << "\n";
+  err_.flush();
+
+  last_tick_s_ = elapsed_s;
+  last_topologies_ = topologies;
+}
+
+}  // namespace bnf::obs

@@ -1,0 +1,181 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "engine/sink.hpp"  // json_escape
+#include "obs/metrics.hpp"  // this_thread_slot
+#include "util/file_io.hpp"
+
+namespace bnf::obs {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+struct trace_event {
+  const char* name;
+  int tid;
+  std::uint64_t ts_us;
+  std::uint64_t dur_us;
+  std::vector<std::pair<std::string, std::pair<std::string, bool>>> args;
+};
+
+struct thread_buffer {
+  int tid{0};
+  std::vector<trace_event> events;
+};
+
+// Session state. `generation` invalidates the thread-local buffer cache
+// across begin()/end() cycles so a reused thread re-registers instead of
+// appending to a retired buffer.
+struct trace_state {
+  std::atomic<bool> active{false};
+  std::atomic<std::uint64_t> generation{0};
+  steady::time_point epoch{};
+  std::mutex mutex;
+  std::vector<std::unique_ptr<thread_buffer>> buffers;
+};
+
+trace_state& state() {
+  static trace_state instance;
+  return instance;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(steady::now() -
+                                                            state().epoch)
+          .count());
+}
+
+// The calling thread's buffer for the current session generation,
+// registering (under the lock) on first touch per generation.
+thread_buffer& local_buffer() {
+  thread_local thread_buffer* cached = nullptr;
+  thread_local std::uint64_t cached_generation = ~std::uint64_t{0};
+  trace_state& s = state();
+  const std::uint64_t generation =
+      s.generation.load(std::memory_order_acquire);
+  if (cached == nullptr || cached_generation != generation) {
+    auto buffer = std::make_unique<thread_buffer>();
+    buffer->tid = this_thread_slot();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.buffers.push_back(std::move(buffer));
+    cached = s.buffers.back().get();
+    cached_generation = generation;
+  }
+  return *cached;
+}
+
+void write_trace(std::ostream& out,
+                 const std::vector<std::unique_ptr<thread_buffer>>& buffers) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : buffers) {
+    if (buffer->events.empty()) continue;
+    // One lane-name metadata record per thread that recorded anything.
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << buffer->tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker-"
+        << buffer->tid << "\"}}";
+    for (const trace_event& event : buffer->events) {
+      out << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid << ",\"name\":\""
+          << json_escape(event.name) << "\",\"ts\":" << event.ts_us
+          << ",\"dur\":" << event.dur_us;
+      if (!event.args.empty()) {
+        out << ",\"args\":{";
+        bool first_arg = true;
+        for (const auto& [key, rendered] : event.args) {
+          if (!first_arg) out << ",";
+          first_arg = false;
+          out << "\"" << json_escape(key) << "\":";
+          if (rendered.second) {
+            out << "\"" << json_escape(rendered.first) << "\"";
+          } else {
+            out << rendered.first;
+          }
+        }
+        out << "}";
+      }
+      out << "}";
+    }
+  }
+  out << "]}\n";
+}
+
+// Stop the session and move the buffers out (so serialization happens
+// outside the lock and the next begin() starts clean).
+std::vector<std::unique_ptr<thread_buffer>> detach_buffers() {
+  trace_state& s = state();
+  s.active.store(false, std::memory_order_release);
+  s.generation.fetch_add(1, std::memory_order_acq_rel);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return std::move(s.buffers);
+}
+
+}  // namespace
+
+void trace_session::begin() {
+  trace_state& s = state();
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.buffers.clear();
+  }
+  s.generation.fetch_add(1, std::memory_order_acq_rel);
+  s.epoch = steady::now();
+  s.active.store(true, std::memory_order_release);
+}
+
+bool trace_session::active() noexcept {
+  return state().active.load(std::memory_order_relaxed);
+}
+
+void trace_session::end_to_file(const std::string& path) {
+  const auto buffers = detach_buffers();
+  std::ofstream out = open_for_write(path, "trace_session");
+  write_trace(out, buffers);
+  flush_or_throw(out, path, "trace_session");
+}
+
+void trace_session::end_to_stream(std::ostream& out) {
+  write_trace(out, detach_buffers());
+}
+
+void trace_session::discard() { detach_buffers(); }
+
+trace_span::trace_span(const char* name) noexcept {
+  if (!trace_session::active()) return;
+  name_ = name;
+  generation_ = state().generation.load(std::memory_order_acquire);
+  start_us_ = now_us();
+}
+
+trace_span::~trace_span() {
+  // Drop the event if the session ended (or was replaced) mid-span: the
+  // timestamps would belong to a retired epoch.
+  if (name_ == nullptr || !trace_session::active() ||
+      state().generation.load(std::memory_order_acquire) != generation_) {
+    return;
+  }
+  const std::uint64_t end_us = now_us();
+  thread_buffer& buffer = local_buffer();
+  buffer.events.push_back(trace_event{name_, buffer.tid, start_us_,
+                                      end_us - start_us_, std::move(args_)});
+}
+
+void trace_span::arg(const char* key, std::uint64_t value) {
+  if (name_ == nullptr) return;
+  args_.emplace_back(key, std::make_pair(std::to_string(value), false));
+}
+
+void trace_span::arg(const char* key, const std::string& value) {
+  if (name_ == nullptr) return;
+  args_.emplace_back(key, std::make_pair(value, true));
+}
+
+}  // namespace bnf::obs

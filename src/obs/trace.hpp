@@ -1,0 +1,68 @@
+// Span tracer emitting Chrome trace-event JSON (the format Perfetto and
+// chrome://tracing load directly). Spans are RAII scopes; each records one
+// complete ("ph":"X") event with a per-thread lane, microsecond timestamps
+// relative to the session start, and optional key/value args (shard index,
+// topology count, ...).
+//
+// Disabled by default: until trace_session::begin() runs, constructing a
+// trace_span is one relaxed atomic load and nothing else, so instrumented
+// code pays ~zero when tracing is off — the invariant the byte-identity
+// gates rely on. When active, events append to per-thread buffers (no
+// locks on the hot path beyond first-touch registration) and are merged
+// and serialized once, at end_to_file / end_to_stream.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bnf::obs {
+
+/// Global tracing session. At most one is active at a time; begin() when
+/// one is already active restarts the clock and discards prior events.
+class trace_session {
+ public:
+  /// Start collecting; the session epoch (ts = 0) is "now".
+  static void begin();
+
+  /// True between begin() and the next end_* / discard().
+  [[nodiscard]] static bool active() noexcept;
+
+  /// Stop collecting, write the merged trace JSON to `path` (truncates;
+  /// throws precondition_error with the errno text on failure), and clear
+  /// the buffers.
+  static void end_to_file(const std::string& path);
+
+  /// Same, writing to an open stream (tests).
+  static void end_to_stream(std::ostream& out);
+
+  /// Stop collecting and drop every buffered event.
+  static void discard();
+};
+
+/// RAII span: records [construction, destruction) as one complete event on
+/// the calling thread's lane. `name` must outlive the span (string
+/// literals; per-call dynamic labels belong in args).
+class trace_span {
+ public:
+  explicit trace_span(const char* name) noexcept;
+  trace_span(const trace_span&) = delete;
+  trace_span& operator=(const trace_span&) = delete;
+  ~trace_span();
+
+  /// Attach an arg shown in the Perfetto detail pane. No-ops when the
+  /// session is inactive.
+  void arg(const char* key, std::uint64_t value);
+  void arg(const char* key, const std::string& value);
+
+ private:
+  const char* name_{nullptr};  // nullptr = span created while inactive
+  std::uint64_t generation_{0};  // session the span belongs to
+  std::uint64_t start_us_{0};
+  // (key, rendered value, quote-as-string) — tiny, spans are per-shard.
+  std::vector<std::pair<std::string, std::pair<std::string, bool>>> args_;
+};
+
+}  // namespace bnf::obs

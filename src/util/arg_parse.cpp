@@ -13,7 +13,7 @@ arg_parser::arg_parser(std::string program, std::string description)
 void arg_parser::add_int(const std::string& name, std::int64_t default_value,
                          const std::string& help) {
   expects(!entries_.count(name), "arg_parser: duplicate flag " + name);
-  entries_[name] = entry{kind::integer, help, std::to_string(default_value)};
+  entries_[name] = entry{kind::integer, help, std::to_string(default_value), ""};
   order_.push_back(name);
 }
 
@@ -22,20 +22,31 @@ void arg_parser::add_double(const std::string& name, double default_value,
   expects(!entries_.count(name), "arg_parser: duplicate flag " + name);
   std::ostringstream out;
   out << default_value;
-  entries_[name] = entry{kind::real, help, out.str()};
+  entries_[name] = entry{kind::real, help, out.str(), ""};
   order_.push_back(name);
 }
 
 void arg_parser::add_string(const std::string& name, std::string default_value,
                             const std::string& help) {
   expects(!entries_.count(name), "arg_parser: duplicate flag " + name);
-  entries_[name] = entry{kind::text, help, std::move(default_value)};
+  entries_[name] = entry{kind::text, help, std::move(default_value), ""};
   order_.push_back(name);
 }
 
 void arg_parser::add_flag(const std::string& name, const std::string& help) {
   expects(!entries_.count(name), "arg_parser: duplicate flag " + name);
-  entries_[name] = entry{kind::boolean, help, "false"};
+  entries_[name] = entry{kind::boolean, help, "false", ""};
+  order_.push_back(name);
+}
+
+void arg_parser::add_opt_double(const std::string& name, double default_value,
+                                double bare_value, const std::string& help) {
+  expects(!entries_.count(name), "arg_parser: duplicate flag " + name);
+  std::ostringstream value;
+  value << default_value;
+  std::ostringstream bare;
+  bare << bare_value;
+  entries_[name] = entry{kind::optional_real, help, value.str(), bare.str()};
   order_.push_back(name);
 }
 
@@ -69,6 +80,19 @@ parse_status arg_parser::parse(int argc, const char* const* argv) {
       e.set_by_user = true;
       continue;
     }
+    if (e.type == kind::optional_real && !have_value) {
+      // The value is optional: consume the next token only when it is not
+      // another flag; bare `--name` takes the registered bare value.
+      if (i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) == std::string::npos) {
+        value = argv[++i];
+        have_value = true;
+      } else {
+        e.value = e.bare_value;
+        e.set_by_user = true;
+        continue;
+      }
+    }
     if (!have_value) {
       expects(i + 1 < argc, "arg_parser: missing value for --" + name);
       value = argv[++i];
@@ -80,7 +104,7 @@ parse_status arg_parser::parse(int argc, const char* const* argv) {
       expects(pos == value.size(),
               "arg_parser: bad integer for --" + name + ": " + value);
       e.value = std::to_string(parsed);
-    } else if (e.type == kind::real) {
+    } else if (e.type == kind::real || e.type == kind::optional_real) {
       std::size_t pos = 0;
       (void)std::stod(value, &pos);
       expects(pos == value.size(),
@@ -112,7 +136,12 @@ std::int64_t arg_parser::get_int(const std::string& name) const {
 }
 
 double arg_parser::get_double(const std::string& name) const {
-  return std::stod(lookup(name, kind::real).value);
+  const auto it = entries_.find(name);
+  expects(it != entries_.end(), "arg_parser: flag not registered: " + name);
+  expects(it->second.type == kind::real ||
+              it->second.type == kind::optional_real,
+          "arg_parser: flag type mismatch for " + name);
+  return std::stod(it->second.value);
 }
 
 const std::string& arg_parser::get_string(const std::string& name) const {
@@ -144,7 +173,11 @@ std::string arg_parser::usage() const {
   for (const auto& name : order_) {
     const entry& e = entries_.at(name);
     out << "  --" << name;
-    if (e.type != kind::boolean) out << " <value>";
+    if (e.type == kind::optional_real) {
+      out << " [value]";
+    } else if (e.type != kind::boolean) {
+      out << " <value>";
+    }
     out << "  (default: " << e.value << ")  " << e.help << "\n";
   }
   out << "  --help  print this message\n";

@@ -38,6 +38,13 @@ class arg_parser {
   void add_string(const std::string& name, std::string default_value,
                   const std::string& help);
   void add_flag(const std::string& name, const std::string& help);
+  /// A numeric flag whose VALUE may be omitted: `--name 2.5`, `--name=2.5`
+  /// and bare `--name` are all accepted; bare uses `bare_value`. When the
+  /// flag is absent entirely, get_double returns `default_value` (and
+  /// was_set is false — callers distinguish "off" from "on with default"
+  /// through was_set). Used for --progress[=secs].
+  void add_opt_double(const std::string& name, double default_value,
+                      double bare_value, const std::string& help);
 
   /// Parse argv. Throws bnf::precondition_error on unknown flags,
   /// malformed values, or a flag repeated on the command line. Returns
@@ -60,11 +67,12 @@ class arg_parser {
   [[nodiscard]] std::string usage() const;
 
  private:
-  enum class kind { integer, real, text, boolean };
+  enum class kind { integer, real, text, boolean, optional_real };
   struct entry {
     kind type{};
     std::string help;
     std::string value;      // canonical textual value
+    std::string bare_value; // optional_real: value a bare `--name` takes
     bool set_by_user{false};
   };
 

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace bnf {
 
 namespace {
@@ -13,6 +15,16 @@ namespace {
 // Set for the duration of worker_loop so nested parallel sections on a
 // worker thread run inline rather than waiting on their own pool.
 thread_local const thread_pool* current_worker_pool = nullptr;
+
+obs::counter& dispatch_counter() {
+  static obs::counter& c = obs::get_counter(obs::names::pool_dispatches);
+  return c;
+}
+
+obs::gauge& queue_depth_gauge() {
+  static obs::gauge& g = obs::get_gauge(obs::names::pool_queue_depth);
+  return g;
+}
 
 }  // namespace
 
@@ -58,6 +70,8 @@ void thread_pool::submit(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  dispatch_counter().add(1);
+  queue_depth_gauge().add(1);  // gauge max = worst observed backlog
   wake_.notify_one();
 }
 
@@ -76,6 +90,7 @@ void thread_pool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_gauge().add(-1);
     task();
   }
 }
@@ -125,6 +140,7 @@ void parallel_for_chunks(
   }
 
   pool.ensure_workers(static_cast<int>(chunks.size()) - 1);
+  obs::get_counter(obs::names::pool_parallel_sections).add(1);
   for (std::size_t c = 0; c + 1 < chunks.size(); ++c) {
     const auto [begin, end] = chunks[c];
     {

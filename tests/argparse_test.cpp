@@ -137,5 +137,68 @@ TEST(ArgParseTest, UsageMentionsAllFlags) {
   }
 }
 
+arg_parser make_opt_parser() {
+  arg_parser args("prog", "optional-value parser");
+  args.add_opt_double("progress", 0, 5, "heartbeat seconds");
+  args.add_flag("csv", "emit csv");
+  return args;
+}
+
+TEST(ArgParseTest, OptDoubleAbsentUsesDefaultAndIsNotSet) {
+  auto args = make_opt_parser();
+  const std::array argv{"prog"};
+  EXPECT_EQ(args.parse(static_cast<int>(argv.size()), argv.data()),
+            parse_status::ok);
+  EXPECT_DOUBLE_EQ(args.get_double("progress"), 0.0);
+  EXPECT_FALSE(args.was_set("progress"));
+}
+
+TEST(ArgParseTest, OptDoubleBareTakesBareValue) {
+  auto args = make_opt_parser();
+  const std::array argv{"prog", "--progress"};
+  EXPECT_EQ(args.parse(static_cast<int>(argv.size()), argv.data()),
+            parse_status::ok);
+  EXPECT_DOUBLE_EQ(args.get_double("progress"), 5.0);
+  EXPECT_TRUE(args.was_set("progress"));
+}
+
+TEST(ArgParseTest, OptDoubleBareBeforeAnotherFlag) {
+  auto args = make_opt_parser();
+  const std::array argv{"prog", "--progress", "--csv"};
+  EXPECT_EQ(args.parse(static_cast<int>(argv.size()), argv.data()),
+            parse_status::ok);
+  EXPECT_DOUBLE_EQ(args.get_double("progress"), 5.0);
+  EXPECT_TRUE(args.get_flag("csv"));
+}
+
+TEST(ArgParseTest, OptDoubleSpaceSeparatedValue) {
+  auto args = make_opt_parser();
+  const std::array argv{"prog", "--progress", "2.5"};
+  EXPECT_EQ(args.parse(static_cast<int>(argv.size()), argv.data()),
+            parse_status::ok);
+  EXPECT_DOUBLE_EQ(args.get_double("progress"), 2.5);
+}
+
+TEST(ArgParseTest, OptDoubleEqualsValue) {
+  auto args = make_opt_parser();
+  const std::array argv{"prog", "--progress=0.25"};
+  EXPECT_EQ(args.parse(static_cast<int>(argv.size()), argv.data()),
+            parse_status::ok);
+  EXPECT_DOUBLE_EQ(args.get_double("progress"), 0.25);
+}
+
+TEST(ArgParseTest, OptDoubleRejectsMalformedValue) {
+  auto args = make_opt_parser();
+  const std::array argv{"prog", "--progress=1.5x"};
+  EXPECT_THROW(
+      (void)args.parse(static_cast<int>(argv.size()), argv.data()),
+      precondition_error);
+}
+
+TEST(ArgParseTest, OptDoubleUsageShowsOptionalValue) {
+  const auto args = make_opt_parser();
+  EXPECT_NE(args.usage().find("--progress [value]"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace bnf

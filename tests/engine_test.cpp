@@ -249,17 +249,27 @@ TEST(SinkTest, TimingFooterIsOptIn) {
     text_table table({"a"});
     table.add_row({"1"});
     sink.write_table("t", table);
-    sink.end_run(0.25);
+    sink.end_run({.wall_seconds = 0.25,
+                  .threads = 4,
+                  .shards = 128,
+                  .peak_rss_bytes = 1 << 20,
+                  .metrics_json = "{\"x\":1}"});
   }
   const std::string with_timing = slurp(path);
   EXPECT_NE(with_timing.find("\"type\":\"footer\""), std::string::npos);
   EXPECT_NE(with_timing.find("\"rows\":1"), std::string::npos);
+  EXPECT_NE(with_timing.find("\"threads\":4"), std::string::npos);
+  EXPECT_NE(with_timing.find("\"shards\":128"), std::string::npos);
+  EXPECT_NE(with_timing.find("\"peak_rss_bytes\":1048576"), std::string::npos);
+  EXPECT_NE(with_timing.find("\"metrics\":{\"x\":1}"), std::string::npos);
 
   {
     jsonl_sink sink(path, /*include_timing=*/false);
     sink.begin_run({.scenario = "toy", .seed = 1, .git_describe = "test",
                     .params = {}});
-    sink.end_run(0.25);
+    run_footer footer;
+    footer.wall_seconds = 0.25;
+    sink.end_run(footer);
   }
   EXPECT_EQ(slurp(path).find("\"type\":\"footer\""), std::string::npos);
   std::remove(path.c_str());
