@@ -12,7 +12,10 @@ std::vector<double> log_grid(double lo, double hi, int per_octave) {
   std::vector<double> grid;
   const double step = std::pow(2.0, 1.0 / per_octave);
   double value = lo;
-  // Tolerate floating accumulation at the top end.
+  // Tolerate floating accumulation at the top end. This pad shapes the
+  // double tau grid only — it never participates in a stability decision,
+  // which all route through exact rationals.
+  // lint:allow(epsilon-literal) grid construction tolerance, not an alpha compare
   while (value <= hi * (1.0 + 1e-12)) {
     grid.push_back(value);
     value *= step;

@@ -8,12 +8,21 @@ namespace bnf::obs {
 
 int this_thread_slot() noexcept {
   static std::atomic<int> next_slot{0};
+  // relaxed: only uniqueness of the handed-out ids matters, never their
+  // order relative to other memory operations.
   thread_local const int slot =
       next_slot.fetch_add(1, std::memory_order_relaxed);
   return slot;
 }
 
 void histogram::record(std::uint64_t sample) noexcept {
+  // relaxed throughout: each field is independently monotone (counts and
+  // sums only grow, min/max only tighten via the CAS loops below), so a
+  // reader needs no ordering BETWEEN fields — readers tolerate a count
+  // that is momentarily ahead of the matching bucket increment (see
+  // percentile()'s trailing max() fallback). The final, exact aggregate
+  // is read after the run's joins, which publish every cell with
+  // stronger-than-needed ordering anyway.
   buckets_[std::bit_width(sample)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(sample, std::memory_order_relaxed);

@@ -51,6 +51,10 @@ class counter {
   counter& operator=(const counter&) = delete;
 
   void add(std::uint64_t delta = 1) noexcept {
+    // relaxed: a counter cell is a plain tally — nothing is published
+    // under it, so no acquire/release pairing is needed. Exactness at
+    // the end of a run comes from the pool's joins, which already give
+    // the reader a happens-before edge over every worker's adds.
     cells_[this_thread_slot() % metric_stripes].value.fetch_add(
         delta, std::memory_order_relaxed);
   }
@@ -99,6 +103,9 @@ class gauge {
   }
 
  private:
+  // relaxed CAS loop: max_ is monotone non-decreasing, so the loop is
+  // correct under ANY interleaving — a stale `seen` only means one more
+  // iteration. No other memory depends on the ordering of this update.
   void raise_max(std::int64_t candidate) noexcept {
     std::int64_t seen = max_.load(std::memory_order_relaxed);
     while (candidate > seen &&

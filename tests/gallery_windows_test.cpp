@@ -83,7 +83,7 @@ INSTANTIATE_TEST_SUITE_P(
         window_case{"path6", path(6), 6, inf, true},
         window_case{"complete7", complete(7), 0, 1, true},
         window_case{"paley13", paley(13), 1, 1, false}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& name_info) { return std::string(name_info.param.name); });
 
 TEST(GalleryWindowsTest, NewNamedGraphParameters) {
   EXPECT_EQ(nauru().order(), 24);

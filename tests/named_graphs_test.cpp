@@ -56,7 +56,7 @@ INSTANTIATE_TEST_SUITE_P(
         named_case{"wheel6", wheel(6), 6, 10, -1, 3, 2},
         named_case{"hypercube4", hypercube(4), 16, 32, 4, 4, 4},
         named_case{"paley13", paley(13), 13, 39, 6, 3, 2}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& name_info) { return std::string(name_info.param.name); });
 
 TEST(NamedGraphsTest, ElementaryFamilies) {
   EXPECT_EQ(star(1).order(), 1);

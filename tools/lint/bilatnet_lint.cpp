@@ -1,0 +1,557 @@
+// bilatnet_lint — the repo's custom invariant checker.
+//
+// Generic tools (clang-tidy, TSan) cannot know which guarantees this
+// codebase stakes its results on, so this linter encodes them as
+// mechanical, line-level rules:
+//
+//   epsilon-literal      no 1e-9-style tolerance literals in src/equilibria/
+//                        or src/analysis/ — every equilibrium comparison
+//                        routes through exact rationals (PR 3/5 contract).
+//   float-alpha-compare  no comparison mixing `alpha` with a non-integral
+//                        floating literal in those directories outside the
+//                        blessed exact_rational() conversion sites.
+//   unordered-iteration  no iteration over std::unordered_{map,set} in
+//                        src/engine/, src/analysis/ or src/gen/ — anything
+//                        on a sink-writing path must have a deterministic
+//                        order or shard output stops being byte-identical.
+//   raw-random           rand()/srand()/std::random_device/time() only in
+//                        util/rng — every random stream must be seeded and
+//                        reproducible.
+//   raw-thread           std::thread/std::jthread only in util/thread_pool
+//                        and obs/progress — ad-hoc threads bypass the
+//                        pool's dispatch accounting and inline-nesting
+//                        guarantees.
+//   metric-name-literal  obs registry lookups must use the obs::names
+//                        constants, not string literals, so producers and
+//                        the progress/ETA consumer can never drift apart.
+//   raw-exit             no std::exit outside src/cli/ — library code
+//                        reports errors; only entry points terminate.
+//   counter-bypass       `ucg_nash_search_invocations` is backed by the
+//                        obs registry counter (PR 7); no writes to it and
+//                        no shadow `static <integer>` search counters.
+//
+// Suppression: append `// lint:allow(<rule-id>)` (comma-separated ids or
+// `*`) to the offending line, or place it on the line directly above,
+// together with a short rationale. Suppressions are deliberate, reviewed
+// exceptions — the comment is the audit trail.
+//
+// Usage: bilatnet_lint [--root DIR] [--list-rules] [paths...]
+//   --root DIR    repo root used to compute rule-scoping relative paths
+//                 (default: current directory)
+//   paths         files or directories to scan (default: <root>/src)
+// Exit status: 0 when clean, 1 when any violation is reported, 2 on usage
+// or I/O errors.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Source model: one file, split into physical lines, each carried in two
+// forms. `raw` is the exact text (suppression comments and string-literal
+// rules look here); `code` has comments, string literals and char literals
+// blanked out so code rules never fire on prose or quoted text.
+// --------------------------------------------------------------------------
+
+struct source_line {
+  std::string raw;
+  std::string code;
+};
+
+struct source_file {
+  fs::path path;          // as given on the command line / from scanning
+  std::string rel;        // generic path relative to --root, '/'-separated
+  std::vector<source_line> lines;
+};
+
+// Blank comments / string literals / char literals with spaces, preserving
+// line structure. Handles multi-line /* */ blocks and, best-effort,
+// R"delim(...)delim" raw strings. Escapes inside ordinary literals are
+// honored.
+std::vector<source_line> split_and_scrub(const std::string& text) {
+  std::vector<source_line> lines;
+  std::string raw;
+  std::string code;
+
+  enum class mode {
+    normal,
+    line_comment,
+    block_comment,
+    string_lit,
+    char_lit,
+    raw_string,
+  };
+  mode state = mode::normal;
+  std::string raw_delim;  // the )delim" terminator of an open raw string
+
+  const auto flush_line = [&] {
+    lines.push_back({raw, code});
+    raw.clear();
+    code.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == mode::line_comment) state = mode::normal;
+      flush_line();
+      continue;
+    }
+    raw.push_back(c);
+    switch (state) {
+      case mode::normal: {
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '/' && next == '/') {
+          state = mode::line_comment;
+          code.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          state = mode::block_comment;
+          code.push_back(' ');
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // R"delim( ... opens a raw string; remember its terminator.
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < text.size() && text[j] != '(' && text[j] != '\n') {
+            delim.push_back(text[j]);
+            ++j;
+          }
+          state = mode::raw_string;
+          raw_delim = ")" + delim + "\"";
+          code.push_back(' ');
+        } else if (c == '"') {
+          state = mode::string_lit;
+          code.push_back(' ');
+        } else if (c == '\'' &&
+                   !(i > 0 &&
+                     (std::isdigit(static_cast<unsigned char>(text[i - 1])) ||
+                      text[i - 1] == '\''))) {
+          // skip digit separators like 1'000'000
+          state = mode::char_lit;
+          code.push_back(' ');
+        } else {
+          code.push_back(c);
+        }
+        break;
+      }
+      case mode::line_comment:
+        code.push_back(' ');
+        break;
+      case mode::block_comment:
+        code.push_back(' ');
+        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+          raw.push_back('/');
+          code.push_back(' ');
+          ++i;
+          state = mode::normal;
+        }
+        break;
+      case mode::string_lit:
+        code.push_back(' ');
+        if (c == '\\' && i + 1 < text.size() && text[i + 1] != '\n') {
+          raw.push_back(text[i + 1]);
+          code.push_back(' ');
+          ++i;
+        } else if (c == '"') {
+          state = mode::normal;
+        }
+        break;
+      case mode::char_lit:
+        code.push_back(' ');
+        if (c == '\\' && i + 1 < text.size() && text[i + 1] != '\n') {
+          raw.push_back(text[i + 1]);
+          code.push_back(' ');
+          ++i;
+        } else if (c == '\'') {
+          state = mode::normal;
+        }
+        break;
+      case mode::raw_string: {
+        code.push_back(' ');
+        if (c == raw_delim.front() &&
+            text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+            raw.push_back(text[i + k]);
+            code.push_back(' ');
+          }
+          i += raw_delim.size() - 1;
+          state = mode::normal;
+        }
+        break;
+      }
+    }
+  }
+  if (!raw.empty() || !code.empty()) flush_line();
+  return lines;
+}
+
+// --------------------------------------------------------------------------
+// Rules.
+// --------------------------------------------------------------------------
+
+struct violation {
+  std::string rel;
+  std::size_t line;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+bool starts_with_any(const std::string& rel,
+                     std::initializer_list<std::string_view> prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](std::string_view p) { return rel.starts_with(p); });
+}
+
+// `// lint:allow(a, b)` or `// lint:allow(*)` on this or the previous line.
+bool suppressed(const source_file& file, std::size_t index,
+                std::string_view rule) {
+  static const std::regex allow_re(R"(lint:allow\(([^)]*)\))");
+  for (std::size_t look = 0; look < 2 && look <= index; ++look) {
+    const std::string& raw = file.lines[index - look].raw;
+    std::smatch m;
+    if (!std::regex_search(raw, m, allow_re)) continue;
+    std::stringstream list(m[1].str());
+    std::string id;
+    while (std::getline(list, id, ',')) {
+      const std::size_t b = id.find_first_not_of(" \t");
+      const std::size_t e = id.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      const std::string_view trimmed(id.data() + b, e - b + 1);
+      if (trimmed == rule || trimmed == "*") return true;
+    }
+  }
+  return false;
+}
+
+struct rule {
+  std::string_view id;
+  std::string_view summary;
+  // Scan the whole file, appending violations.
+  void (*check)(const source_file&, std::vector<violation>&);
+};
+
+void report(const source_file& file, std::size_t index, std::string_view rule,
+            std::string message, std::vector<violation>& out) {
+  if (suppressed(file, index, rule)) return;
+  out.push_back(
+      {file.rel, index + 1, std::string(rule), std::move(message)});
+}
+
+// The exactness rules only police the directories whose outputs are exact
+// by contract; a line performing the blessed double->rational conversion is
+// exempt by construction.
+bool exactness_scope(const std::string& rel) {
+  return starts_with_any(rel, {"src/equilibria/", "src/analysis/"});
+}
+
+void check_epsilon_literal(const source_file& file,
+                           std::vector<violation>& out) {
+  if (!exactness_scope(file.rel)) return;
+  static const std::regex eps_re(R"([0-9]\s*[eE]-[0-9])");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    if (code.find("exact_rational(") != std::string::npos) continue;
+    if (std::regex_search(code, eps_re)) {
+      report(file, i, "epsilon-literal",
+             "scientific-notation tolerance literal in an exactness "
+             "directory; route the comparison through exact rationals",
+             out);
+    }
+  }
+}
+
+void check_float_alpha_compare(const source_file& file,
+                               std::vector<violation>& out) {
+  if (!exactness_scope(file.rel)) return;
+  static const std::regex alpha_re(R"(\balpha\b)");
+  static const std::regex cmp_re(R"([<>]=?|[=!]=)");
+  static const std::regex frac_literal_re(
+      R"(\b[0-9]+\.[0-9]+\b|\b[0-9]+\.?[0-9]*[eE][-+]?[0-9]+\b)");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    if (code.find("exact_rational(") != std::string::npos) continue;
+    if (std::regex_search(code, alpha_re) &&
+        std::regex_search(code, cmp_re) &&
+        std::regex_search(code, frac_literal_re)) {
+      report(file, i, "float-alpha-compare",
+             "comparison mixes `alpha` with a non-integral floating "
+             "literal; use exact_rational / integer deltas instead",
+             out);
+    }
+  }
+}
+
+void check_unordered_iteration(const source_file& file,
+                               std::vector<violation>& out) {
+  if (!starts_with_any(file.rel,
+                       {"src/engine/", "src/analysis/", "src/gen/"})) {
+    return;
+  }
+  // Pass 1: names declared with an unordered container as the OUTERMOST
+  // type (a vector<unordered_map<...>> is fine to iterate — that walks the
+  // vector). Declarations are matched on a single scrubbed line.
+  static const std::regex decl_re(
+      R"((?:^\s*|[;{(]\s*|\bstatic\s+|\bconst\s+)std::unordered_(?:map|set)\s*<)");
+  static const std::regex name_re(R"(>\s*&?\s*([A-Za-z_]\w*)\s*[({=;,)])");
+  std::vector<std::string> unordered_names;
+  for (const source_line& line : file.lines) {
+    if (!std::regex_search(line.code, decl_re)) continue;
+    std::smatch m;
+    if (std::regex_search(line.code, m, name_re)) {
+      unordered_names.push_back(m[1].str());
+    }
+  }
+  if (unordered_names.empty()) return;
+  // Pass 2: range-for or begin() over a tracked name.
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    for (const std::string& name : unordered_names) {
+      const std::regex iter_re(":\\s*" + name + "\\s*\\)|\\b" + name +
+                               "\\s*\\.\\s*c?begin\\s*\\(");
+      if (std::regex_search(code, iter_re)) {
+        report(file, i, "unordered-iteration",
+               "iterating std::unordered container `" + name +
+                   "` on a sink-feeding path; iteration order is not "
+                   "deterministic — use a sorted/indexed container or "
+                   "collect-and-sort first",
+               out);
+      }
+    }
+  }
+}
+
+void check_raw_random(const source_file& file, std::vector<violation>& out) {
+  if (starts_with_any(file.rel, {"src/util/rng."})) return;
+  static const std::regex random_re(
+      R"(\b(?:std::)?s?rand\s*\(|std::random_device|\b(?:std::)?time\s*\()");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (std::regex_search(file.lines[i].code, random_re)) {
+      report(file, i, "raw-random",
+             "unseeded randomness / wall-clock entropy outside util/rng; "
+             "results must be reproducible from (seed, shard)",
+             out);
+    }
+  }
+}
+
+void check_raw_thread(const source_file& file, std::vector<violation>& out) {
+  if (starts_with_any(file.rel,
+                      {"src/util/thread_pool.", "src/obs/progress."})) {
+    return;
+  }
+  static const std::regex thread_re(R"(std::j?thread\b)");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    std::string code = file.lines[i].code;
+    // std::this_thread:: (sleep/yield) is not thread creation.
+    std::size_t pos;
+    while ((pos = code.find("std::this_thread")) != std::string::npos) {
+      code.erase(pos, std::string_view("std::this_thread").size());
+    }
+    if (std::regex_search(code, thread_re)) {
+      report(file, i, "raw-thread",
+             "raw std::thread outside util/thread_pool and obs/progress; "
+             "dispatch through the shared pool so nesting and telemetry "
+             "accounting hold",
+             out);
+    }
+  }
+}
+
+void check_metric_name_literal(const source_file& file,
+                               std::vector<violation>& out) {
+  if (starts_with_any(file.rel, {"src/obs/metrics."})) return;
+  static const std::regex metric_re(
+      R"((get_counter|get_gauge|get_histogram|counter_ref|gauge_ref|histogram_ref)\s*\(\s*")");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (std::regex_search(file.lines[i].raw, metric_re)) {
+      report(file, i, "metric-name-literal",
+             "metric looked up by string literal; use the obs::names "
+             "constants so producers and the heartbeat stay in sync",
+             out);
+    }
+  }
+}
+
+void check_raw_exit(const source_file& file, std::vector<violation>& out) {
+  if (starts_with_any(file.rel, {"src/cli/"})) return;
+  static const std::regex exit_re(R"((?:^|[^\w.:])exit\s*\()");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    if (std::regex_search(code, exit_re) ||
+        code.find("std::exit") != std::string::npos) {
+      report(file, i, "raw-exit",
+             "process exit outside src/cli/; library code reports errors "
+             "to the caller, only entry points terminate",
+             out);
+    }
+  }
+}
+
+void check_counter_bypass(const source_file& file,
+                          std::vector<violation>& out) {
+  // Writes to the published invocation counter anywhere (reads are fine;
+  // the value comes from the obs registry).
+  static const std::regex write_re(
+      R"(\bucg_nash_search_invocations\s*(?:\+\+|--|=[^=]|\+=|-=))");
+  static const std::regex incr_re(R"((?:\+\+|--)\s*ucg_nash_search_invocations\b)");
+  // Shadow counters: a static integral counter named like a search/
+  // invocation tally must instead be an obs registry counter.
+  static const std::regex shadow_re(
+      R"(static\s+(?:std::atomic<[^>]*>|(?:unsigned\s+)?(?:long\s+long|long|int)|std::u?int(?:8|16|32|64)_t|std::size_t)\s+\w*(?:invocations|search_count|searches)\w*)");
+  const bool blessed_definition_site =
+      file.rel == "src/equilibria/ucg_nash.cpp" ||
+      file.rel == "src/equilibria/ucg_nash.hpp";
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    if (std::regex_search(code, write_re) ||
+        std::regex_search(code, incr_re)) {
+      report(file, i, "counter-bypass",
+             "write to ucg_nash_search_invocations; it is a read-only view "
+             "of the obs registry counter",
+             out);
+      continue;
+    }
+    if (!blessed_definition_site && exactness_scope(file.rel) &&
+        std::regex_search(code, shadow_re)) {
+      report(file, i, "counter-bypass",
+             "static integral search/invocation tally; register an "
+             "obs::counter instead so --metrics and tests see it",
+             out);
+    }
+  }
+}
+
+constexpr rule rules[] = {
+    {"epsilon-literal",
+     "no 1e-9-style tolerance literals in src/equilibria/ or src/analysis/",
+     check_epsilon_literal},
+    {"float-alpha-compare",
+     "no comparison mixing alpha with a non-integral float literal there",
+     check_float_alpha_compare},
+    {"unordered-iteration",
+     "no unordered_{map,set} iteration in src/{engine,analysis,gen}/",
+     check_unordered_iteration},
+    {"raw-random", "rand()/random_device/time() only in util/rng",
+     check_raw_random},
+    {"raw-thread",
+     "std::thread only in util/thread_pool and obs/progress",
+     check_raw_thread},
+    {"metric-name-literal",
+     "obs registry lookups use obs::names constants, not literals",
+     check_metric_name_literal},
+    {"raw-exit", "no std::exit outside src/cli/", check_raw_exit},
+    {"counter-bypass",
+     "ucg_nash_search_invocations backed by the obs counter only",
+     check_counter_bypass},
+};
+
+// --------------------------------------------------------------------------
+// Driver.
+// --------------------------------------------------------------------------
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::string relative_to(const fs::path& path, const fs::path& root) {
+  const fs::path rel = path.lexically_relative(root);
+  if (rel.empty() || *rel.begin() == "..") {
+    return path.generic_string();  // outside root: scope rules by suffix
+  }
+  return rel.generic_string();
+}
+
+int run(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<fs::path> inputs;
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    if (arg == "--root") {
+      if (a + 1 >= argc) {
+        std::cerr << "bilatnet_lint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++a];
+    } else if (arg == "--list-rules") {
+      for (const rule& r : rules) {
+        std::cout << r.id << "\t" << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bilatnet_lint [--root DIR] [--list-rules] "
+                   "[paths...]\n";
+      return 0;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) inputs.push_back(root / "src");
+
+  std::vector<fs::path> files;
+  for (const fs::path& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (auto it = fs::recursive_directory_iterator(input, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::cerr << "bilatnet_lint: cannot read " << input << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<violation> violations;
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "bilatnet_lint: cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    source_file file{path, relative_to(path, root),
+                     split_and_scrub(text.str())};
+    for (const rule& r : rules) r.check(file, violations);
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const violation& a, const violation& b) {
+              return std::tie(a.rel, a.line, a.rule) <
+                     std::tie(b.rel, b.line, b.rule);
+            });
+  for (const violation& v : violations) {
+    std::cout << v.rel << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (!violations.empty()) {
+    std::cout << violations.size() << " invariant violation"
+              << (violations.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

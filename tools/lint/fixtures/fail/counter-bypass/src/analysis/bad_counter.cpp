@@ -1,0 +1,16 @@
+// Fixture: MUST FAIL — writing the published counter and keeping a shadow
+// tally outside the obs registry.
+namespace bnf {
+
+long long ucg_nash_search_invocations;
+
+void reset_for_test() {
+  ucg_nash_search_invocations = 0;
+}
+
+int count_searches() {
+  static long long region_search_count_invocations = 0;
+  return static_cast<int>(++region_search_count_invocations);
+}
+
+}  // namespace bnf

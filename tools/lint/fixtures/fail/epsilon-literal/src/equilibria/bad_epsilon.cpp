@@ -1,0 +1,8 @@
+// Fixture: MUST FAIL — tolerance literal in an exactness directory.
+namespace bnf {
+
+bool nearly_stable(double slack) {
+  return slack < 1e-9;
+}
+
+}  // namespace bnf

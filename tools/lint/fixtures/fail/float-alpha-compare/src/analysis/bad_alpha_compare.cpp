@@ -1,0 +1,8 @@
+// Fixture: MUST FAIL — alpha compared against a non-integral literal.
+namespace bnf {
+
+bool below_crossover(double alpha) {
+  return alpha < 1.5;
+}
+
+}  // namespace bnf

@@ -1,0 +1,15 @@
+// Fixture: MUST FAIL — metric looked up by ad-hoc string literal.
+namespace bnf::obs {
+struct counter {
+  void add(unsigned long long delta = 1) noexcept;
+};
+counter& get_counter(const char* name);
+}  // namespace bnf::obs
+
+namespace bnf {
+
+void record() {
+  obs::get_counter("engine.my_private_counter").add(1);
+}
+
+}  // namespace bnf

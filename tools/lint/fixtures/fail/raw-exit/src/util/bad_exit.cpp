@@ -1,0 +1,10 @@
+// Fixture: MUST FAIL — library code terminating the process.
+#include <cstdlib>
+
+namespace bnf {
+
+void fail_hard() {
+  std::exit(1);
+}
+
+}  // namespace bnf

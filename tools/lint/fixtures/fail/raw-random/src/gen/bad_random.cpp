@@ -1,0 +1,11 @@
+// Fixture: MUST FAIL — ad-hoc entropy outside util/rng.
+#include <random>
+
+namespace bnf {
+
+unsigned roll() {
+  std::random_device device;
+  return device();
+}
+
+}  // namespace bnf

@@ -1,0 +1,11 @@
+// Fixture: MUST FAIL — raw thread outside the pool and the heartbeat.
+#include <thread>
+
+namespace bnf {
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace bnf

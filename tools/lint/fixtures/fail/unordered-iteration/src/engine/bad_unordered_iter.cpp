@@ -1,0 +1,15 @@
+// Fixture: MUST FAIL — hash-order iteration on a sink-feeding path.
+#include <unordered_map>
+
+namespace bnf {
+
+long long sum_by_hash_order() {
+  std::unordered_map<int, int> totals{{1, 2}, {3, 4}};
+  long long sum = 0;
+  for (const auto& [key, value] : totals) {
+    sum += key * 1000 + value;  // order-dependent aggregation
+  }
+  return sum;
+}
+
+}  // namespace bnf

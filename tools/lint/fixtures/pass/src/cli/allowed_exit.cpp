@@ -1,0 +1,8 @@
+// Fixture: entry points may terminate the process.
+#include <cstdlib>
+
+int main(int argc, char** argv) {
+  if (argc < 2) std::exit(2);
+  (void)argv;
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fixture: registry lookups through the canonical name constants.
+namespace bnf::obs {
+struct counter {
+  void add(unsigned long long delta = 1) noexcept;
+};
+counter& get_counter(const char* name);
+namespace names {
+inline constexpr const char* shards_done = "engine.shards_done";
+}  // namespace names
+}  // namespace bnf::obs
+
+namespace bnf {
+
+void record_shard_done() {
+  static obs::counter& done = obs::get_counter(obs::names::shards_done);
+  done.add(1);
+}
+
+}  // namespace bnf

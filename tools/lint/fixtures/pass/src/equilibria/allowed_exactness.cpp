@@ -1,0 +1,23 @@
+// Fixture: blessed patterns inside an exactness directory.
+namespace bnf {
+
+struct rational {
+  long long num{0};
+  long long den{1};
+};
+rational exact_rational(double value);
+
+bool domain_check(double alpha) {
+  // Comparisons against integers (including integer-valued doubles from
+  // distance deltas) are exact in IEEE double; only non-integral literals
+  // are suspect.
+  return alpha > 0 && alpha <= 16;
+}
+
+rational blessed_conversion(double alpha) {
+  // The conversion site itself may mention any literal; the line calling
+  // exact_rational() is the one place doubles become exact.
+  return exact_rational(alpha * 0.5);
+}
+
+}  // namespace bnf

@@ -1,0 +1,15 @@
+// Fixture: the heartbeat monitor thread is blessed, and std::this_thread
+// helpers are not thread creation.
+#include <chrono>
+#include <thread>
+
+namespace bnf::obs {
+
+void monitor() {
+  std::thread heartbeat([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  heartbeat.join();
+}
+
+}  // namespace bnf::obs

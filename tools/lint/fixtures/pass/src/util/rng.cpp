@@ -1,0 +1,11 @@
+// Fixture: util/rng is the one blessed home for entropy sources.
+#include <random>
+
+namespace bnf {
+
+unsigned hardware_entropy() {
+  std::random_device device;
+  return device();
+}
+
+}  // namespace bnf

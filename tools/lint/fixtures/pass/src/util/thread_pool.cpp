@@ -1,0 +1,11 @@
+// Fixture: the pool is the blessed owner of raw threads.
+#include <thread>
+#include <vector>
+
+namespace bnf {
+
+struct pool {
+  std::vector<std::thread> workers;
+};
+
+}  // namespace bnf
