@@ -1,0 +1,90 @@
+#include "harness.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "engine/sink.hpp"  // json_escape
+#include "engine/version.hpp"
+#include "obs/metrics.hpp"
+#include "util/file_io.hpp"
+#include "util/mem.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+namespace bnf::bench {
+
+namespace {
+
+std::string platform_string() {
+#if defined(__unix__) || defined(__APPLE__)
+  utsname info{};
+  if (uname(&info) == 0) {
+    return std::string(info.sysname) + " " + info.release + " " +
+           info.machine;
+  }
+#endif
+  return "unknown";
+}
+
+}  // namespace
+
+bench_suite::bench_suite(std::string name) : name_(std::move(name)) {}
+
+const bench_measurement& bench_suite::run(
+    const std::string& id, const std::function<void()>& body) {
+  const auto counters_before =
+      obs::metrics_registry::global().counter_snapshot();
+  stopwatch timer;
+  body();
+  bench_measurement measurement;
+  measurement.id = id;
+  measurement.wall_seconds = timer.seconds();
+  measurement.peak_rss_bytes = peak_rss_bytes();
+  const auto counters_after =
+      obs::metrics_registry::global().counter_snapshot();
+  for (const auto& [name, value] : counters_after) {
+    const auto it = counters_before.find(name);
+    const std::uint64_t delta =
+        value - (it == counters_before.end() ? 0 : it->second);
+    if (delta > 0) measurement.counters.emplace_back(name, delta);
+  }
+  measurements_.push_back(std::move(measurement));
+  return measurements_.back();
+}
+
+void bench_suite::write_json(std::ostream& out) const {
+  out << "{\"schema\":\"bilatnet-bench-v1\",\"suite\":\""
+      << json_escape(name_) << "\",\"git\":\"" << json_escape(git_describe())
+      << "\",\"host\":{\"hardware_threads\":" << default_thread_count()
+      << ",\"platform\":\"" << json_escape(platform_string()) << "\"},"
+      << "\"workloads\":[";
+  bool first = true;
+  for (const bench_measurement& m : measurements_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":\"" << json_escape(m.id)
+        << "\",\"wall_s\":" << fmt_double(m.wall_seconds, 4)
+        << ",\"peak_rss_bytes\":" << m.peak_rss_bytes << ",\"counters\":{";
+    bool first_counter = true;
+    for (const auto& [name, value] : m.counters) {
+      if (!first_counter) out << ",";
+      first_counter = false;
+      out << "\"" << json_escape(name) << "\":" << value;
+    }
+    out << "}}";
+  }
+  out << "]}\n";
+}
+
+void bench_suite::write_json_file(const std::string& path) const {
+  std::ofstream out = open_for_write(path, "bench_suite");
+  write_json(out);
+  flush_or_throw(out, path, "bench_suite");
+}
+
+}  // namespace bnf::bench

@@ -1,0 +1,61 @@
+// Shared bench harness: every benchmark driver that wants machine-readable
+// output emits it through bench_suite, so all BENCH artifacts and the CI
+// perf-smoke job share ONE JSON schema:
+//
+//   {"schema":"bilatnet-bench-v1","suite":...,"git":...,
+//    "host":{"hardware_threads":N,"platform":...},
+//    "workloads":[{"id":...,"wall_s":...,"peak_rss_bytes":...,
+//                  "counters":{...}},...]}
+//
+// Each workload records its wall time, the process peak RSS observed when
+// it finished (monotone across workloads — order fast-before-big), and the
+// delta of every obs registry counter the workload moved. The counters
+// give the regression gate (tools/perf/check_regression) deterministic
+// pinned values to compare exactly, on top of the tolerance-gated wall
+// time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bnf::bench {
+
+/// One measured workload.
+struct bench_measurement {
+  std::string id;
+  double wall_seconds{0};
+  std::uint64_t peak_rss_bytes{0};
+  /// Counter deltas the workload produced, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Collects measurements and serializes the common schema.
+class bench_suite {
+ public:
+  explicit bench_suite(std::string name);
+
+  /// Run `body` once, recording wall time, peak RSS and the obs counter
+  /// deltas under `id`. Returns the finished measurement.
+  const bench_measurement& run(const std::string& id,
+                               const std::function<void()>& body);
+
+  [[nodiscard]] const std::vector<bench_measurement>& measurements() const {
+    return measurements_;
+  }
+
+  /// Write the schema document (one line, trailing newline).
+  void write_json(std::ostream& out) const;
+
+  /// write_json to a file (open_for_write semantics: throws on failure).
+  void write_json_file(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<bench_measurement> measurements_;
+};
+
+}  // namespace bnf::bench

@@ -3,6 +3,7 @@
 //   bilatnet list                  show registered scenarios
 //   bilatnet describe <scenario>   flags and defaults of one scenario
 //   bilatnet run <scenario> [...]  execute a scenario
+//   bilatnet report <ledger> [...] analyze a run ledger (also: report diff)
 //
 // Every scenario accepts the engine flags --threads/--seed/--jsonl/--csv
 // on top of its own; `run <scenario> --help` prints them all.
@@ -12,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/run_report.hpp"
 #include "engine/builtin.hpp"
 #include "engine/registry.hpp"
 #include "engine/version.hpp"
@@ -24,7 +26,9 @@ void print_usage(std::ostream& out) {
       << "Subcommands:\n"
       << "  list                  show registered scenarios\n"
       << "  describe <scenario>   flags and defaults of one scenario\n"
-      << "  run <scenario> [...]  execute a scenario (--help for its flags)\n";
+      << "  run <scenario> [...]  execute a scenario (--help for its flags)\n"
+      << "  report <ledger> [...] analyze a --ledger file: skew, funnel,\n"
+      << "                        scaling fits; `report diff` compares runs\n";
 }
 
 int run_list(std::ostream& out) {
@@ -87,6 +91,14 @@ int main(int argc, char** argv) {
     return bnf::run_scenario_main(argv[2],
                                   static_cast<int>(scenario_argv.size()),
                                   scenario_argv.data());
+  }
+  if (command == "report") {
+    // Re-pack argv so run_report_main sees its arguments at argv[1...].
+    std::vector<const char*> report_argv;
+    report_argv.push_back(argv[0]);
+    for (int i = 2; i < argc; ++i) report_argv.push_back(argv[i]);
+    return bnf::run_report_main(static_cast<int>(report_argv.size()),
+                                report_argv.data(), std::cout);
   }
   std::cerr << "bilatnet: unknown subcommand '" << command << "'\n\n";
   print_usage(std::cerr);

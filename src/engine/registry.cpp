@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "engine/sink.hpp"
 #include "engine/version.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -22,9 +24,9 @@ namespace {
 // Flags the engine owns; every scenario gets them, and they are excluded
 // from the deterministic run metadata (they select execution resources,
 // exports and telemetry side channels, not experiment content).
-constexpr const char* engine_flag_names[] = {"threads", "jsonl",    "csv",
-                                             "timing",  "metrics", "trace",
-                                             "progress"};
+constexpr const char* engine_flag_names[] = {
+    "threads", "jsonl", "csv",      "timing",
+    "metrics", "trace", "progress", "ledger"};
 
 void add_engine_flags(arg_parser& args) {
   args.add_int("threads", 0, "worker threads (0 = hardware)");
@@ -43,6 +45,10 @@ void add_engine_flags(arg_parser& args) {
                       "print a heartbeat to stderr every [value] seconds "
                       "(bare --progress = every 5 s): shards done/total, "
                       "topologies/s, ETA, peak RSS");
+  args.add_string("ledger", "",
+                  "append one JSONL record for this run (args, git, wall, "
+                  "RSS, counter deltas, side-file paths) to this ledger "
+                  "file; analyze with `bilatnet report`");
 }
 
 bool is_engine_flag(const std::string& name) {
@@ -117,6 +123,15 @@ int run_scenario_main(const scenario& entry, int argc,
     if (!args.get_string("csv").empty()) {
       sinks.add(std::make_unique<csv_sink>(args.get_string("csv")));
     }
+    if (!args.get_string("ledger").empty()) {
+      obs::ledger_side_files side_files;
+      side_files.jsonl = args.get_string("jsonl");
+      side_files.csv = args.get_string("csv");
+      side_files.metrics = args.get_string("metrics");
+      side_files.trace = args.get_string("trace");
+      sinks.add(std::make_unique<obs::ledger_sink>(args.get_string("ledger"),
+                                                   std::move(side_files)));
+    }
     sinks.begin_run(meta);
 
     run_context ctx{args,
@@ -133,6 +148,8 @@ int run_scenario_main(const scenario& entry, int argc,
         obs::metrics_registry::global().counter_snapshot();
     const std::uint64_t shards_before =
         obs::get_counter(obs::names::shards_done).value();
+    const obs::histogram_snapshot shard_wall_before =
+        obs::get_histogram(obs::names::shard_wall_ms).snapshot();
     std::optional<obs::progress_reporter> progress;
     if (args.was_set("progress")) {
       progress.emplace(args.get_double("progress"), std::cerr);
@@ -155,6 +172,22 @@ int run_scenario_main(const scenario& entry, int argc,
     footer.peak_rss_bytes = peak_rss_bytes();
     footer.metrics_json = obs::metrics_registry::global().counters_delta_json(
         counters_before);
+    // Shard wall-time skew of THIS run: the histograms are process-
+    // cumulative, but bucket counts are individually monotone, so the
+    // snapshot delta describes exactly the shards recorded in between.
+    const obs::histogram_snapshot shard_wall_delta = obs::snapshot_delta(
+        obs::get_histogram(obs::names::shard_wall_ms).snapshot(),
+        shard_wall_before);
+    if (shard_wall_delta.count > 0) {
+      std::ostringstream skew;
+      skew << "{\"shards\":" << shard_wall_delta.count << ",\"wall_ms\":{"
+           << "\"min\":" << obs::snapshot_min_bound(shard_wall_delta)
+           << ",\"p50\":"
+           << fmt_double(obs::estimate_percentile(shard_wall_delta, 50))
+           << ",\"max\":" << obs::snapshot_max_bound(shard_wall_delta)
+           << "}}";
+      footer.shard_skew_json = skew.str();
+    }
     if (!trace_path.empty()) obs::trace_session::end_to_file(trace_path);
     if (!metrics_path.empty()) {
       std::ofstream metrics_out = open_for_write(metrics_path, "metrics");

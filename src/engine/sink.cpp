@@ -76,6 +76,9 @@ void jsonl_sink::end_run(const run_footer& footer) {
     if (!footer.metrics_json.empty()) {
       out_ << ",\"metrics\":" << footer.metrics_json;
     }
+    if (!footer.shard_skew_json.empty()) {
+      out_ << ",\"shard_skew\":" << footer.shard_skew_json;
+    }
     out_ << "}\n";
   }
   flush_or_throw(out_, path_, "jsonl_sink");

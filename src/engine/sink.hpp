@@ -44,6 +44,10 @@ struct run_footer {
   /// Pre-rendered JSON object of the run's counter increments (obs
   /// metrics registry delta), or empty to omit the summary block.
   std::string metrics_json;
+  /// Pre-rendered JSON object summarizing the run's shard wall-time skew
+  /// (min/median/max from the engine.shard_wall_ms histogram delta), or
+  /// empty for scenarios with no shard structure.
+  std::string shard_skew_json;
 };
 
 /// Interface every exporter implements.
@@ -64,7 +68,8 @@ class result_sink {
 ///   {"type":"meta","scenario":...,"seed":N,"git":...,"params":{...}}
 ///   {"type":"row","table":<name>,"values":{<header>:<cell>,...}}
 ///   {"type":"footer","rows":N,"wall_s":...,"threads":T,"shards":S,
-///    "peak_rss_bytes":B,"metrics":{...}}          (only with timing on)
+///    "peak_rss_bytes":B,"metrics":{...},
+///    "shard_skew":{...}}                          (only with timing on)
 /// Cell values are the already-formatted table strings, so the payload is
 /// exactly what the text tables show.
 class jsonl_sink final : public result_sink {

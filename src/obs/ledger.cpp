@@ -1,0 +1,63 @@
+#include "obs/ledger.hpp"
+
+#include <utility>
+
+#include "util/file_io.hpp"
+
+namespace bnf::obs {
+
+ledger_sink::ledger_sink(const std::string& path, ledger_side_files side_files)
+    : path_(path),
+      out_(open_for_append(path, "ledger_sink")),
+      side_files_(std::move(side_files)) {}
+
+void ledger_sink::begin_run(const run_metadata& meta) { meta_ = meta; }
+
+void ledger_sink::write_table(const std::string&, const text_table& table) {
+  rows_ += table.row_count();
+}
+
+void ledger_sink::end_run(const run_footer& footer) {
+  out_ << "{\"type\":\"run\",\"scenario\":\"" << json_escape(meta_.scenario)
+       << "\",\"seed\":" << meta_.seed << ",\"git\":\""
+       << json_escape(meta_.git_describe) << "\",\"params\":{";
+  bool first = true;
+  for (const auto& [name, value] : meta_.params) {
+    if (!first) out_ << ",";
+    first = false;
+    out_ << "\"" << json_escape(name) << "\":\"" << json_escape(value) << "\"";
+  }
+  out_ << "},\"threads\":" << footer.threads
+       << ",\"shards\":" << footer.shards << ",\"rows\":" << rows_
+       << ",\"wall_s\":" << footer.wall_seconds
+       << ",\"peak_rss_bytes\":" << footer.peak_rss_bytes;
+  if (!footer.metrics_json.empty() && footer.metrics_json != "{}") {
+    out_ << ",\"counters\":" << footer.metrics_json;
+  }
+  if (!footer.shard_skew_json.empty()) {
+    out_ << ",\"shard_skew\":" << footer.shard_skew_json;
+  }
+  const std::pair<const char*, const std::string*> files[] = {
+      {"jsonl", &side_files_.jsonl},
+      {"csv", &side_files_.csv},
+      {"metrics", &side_files_.metrics},
+      {"trace", &side_files_.trace},
+  };
+  bool any_file = false;
+  for (const auto& [key, value] : files) any_file |= !value->empty();
+  if (any_file) {
+    out_ << ",\"files\":{";
+    first = true;
+    for (const auto& [key, value] : files) {
+      if (value->empty()) continue;
+      if (!first) out_ << ",";
+      first = false;
+      out_ << "\"" << key << "\":\"" << json_escape(*value) << "\"";
+    }
+    out_ << "}";
+  }
+  out_ << "}\n";
+  flush_or_throw(out_, path_, "ledger_sink");
+}
+
+}  // namespace bnf::obs

@@ -4,7 +4,85 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/table.hpp"  // fmt_double for the estimated percentiles
+
 namespace bnf::obs {
+
+namespace {
+
+// Inclusive value bounds of bucket b: {0} for b = 0, [2^(b-1), 2^b - 1]
+// otherwise.
+std::uint64_t bucket_lower(int b) noexcept {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t bucket_upper(int b) noexcept {
+  if (b == 0) return 0;
+  return b == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+histogram_snapshot snapshot_delta(const histogram_snapshot& after,
+                                  const histogram_snapshot& before) {
+  histogram_snapshot delta;
+  delta.count = after.count >= before.count ? after.count - before.count : 0;
+  delta.sum = after.sum >= before.sum ? after.sum - before.sum : 0;
+  for (int b = 0; b < histogram_buckets; ++b) {
+    const std::uint64_t hi = after.buckets[static_cast<std::size_t>(b)];
+    const std::uint64_t lo = before.buckets[static_cast<std::size_t>(b)];
+    delta.buckets[static_cast<std::size_t>(b)] = hi >= lo ? hi - lo : 0;
+  }
+  return delta;
+}
+
+std::uint64_t snapshot_min_bound(const histogram_snapshot& s) {
+  for (int b = 0; b < histogram_buckets; ++b) {
+    if (s.buckets[static_cast<std::size_t>(b)] > 0) return bucket_lower(b);
+  }
+  return 0;
+}
+
+std::uint64_t snapshot_max_bound(const histogram_snapshot& s) {
+  for (int b = histogram_buckets - 1; b >= 0; --b) {
+    if (s.buckets[static_cast<std::size_t>(b)] > 0) return bucket_upper(b);
+  }
+  return 0;
+}
+
+double estimate_percentile(const histogram_snapshot& s, double p) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : s.buckets) total += c;
+  if (total == 0 || p <= 0) return 0;
+  if (p > 100) p = 100;
+  // Rank of the requested sample, 1-based; ceil without FP edge cases
+  // (same convention as histogram::percentile).
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (static_cast<double>(rank) * 100.0 < p * static_cast<double>(total)) {
+    ++rank;
+  }
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < histogram_buckets; ++b) {
+    const std::uint64_t in_bucket = s.buckets[static_cast<std::size_t>(b)];
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The rank-th sample is the k-th of `in_bucket` samples in bucket b;
+    // spread them evenly over the bucket span and answer with the k-th
+    // sub-interval's midpoint.
+    const double lo = static_cast<double>(bucket_lower(b));
+    const double hi = static_cast<double>(bucket_upper(b));
+    const double k = static_cast<double>(rank - cumulative);
+    const double c = static_cast<double>(in_bucket);
+    return lo + (hi - lo) * (2.0 * k - 1.0) / (2.0 * c);
+  }
+  return static_cast<double>(snapshot_max_bound(s));
+}
 
 int this_thread_slot() noexcept {
   static std::atomic<int> next_slot{0};
@@ -66,6 +144,17 @@ std::uint64_t histogram::percentile(double p) const noexcept {
   return max();  // concurrent writers moved count past the buckets read
 }
 
+histogram_snapshot histogram::snapshot() const noexcept {
+  histogram_snapshot snap;
+  snap.count = count();
+  snap.sum = sum();
+  for (int b = 0; b < bucket_count; ++b) {
+    snap.buckets[static_cast<std::size_t>(b)] =
+        buckets_[b].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
 metrics_registry& metrics_registry::global() {
   static metrics_registry registry;
   return registry;
@@ -114,12 +203,17 @@ void metrics_registry::write_json(std::ostream& out) const {
   for (const auto& [name, metric] : histograms_) {
     if (!first) out << ",";
     first = false;
+    const histogram_snapshot snap = metric.snapshot();
     out << "\"" << name << "\":{\"count\":" << metric.count()
         << ",\"sum\":" << metric.sum() << ",\"min\":" << metric.min()
         << ",\"max\":" << metric.max()
         << ",\"p50\":" << metric.percentile(50)
         << ",\"p90\":" << metric.percentile(90)
-        << ",\"p99\":" << metric.percentile(99) << "}";
+        << ",\"p99\":" << metric.percentile(99)
+        << ",\"p50_est\":" << fmt_double(estimate_percentile(snap, 50))
+        << ",\"p90_est\":" << fmt_double(estimate_percentile(snap, 90))
+        << ",\"p99_est\":" << fmt_double(estimate_percentile(snap, 99))
+        << "}";
   }
   out << "}}";
 }

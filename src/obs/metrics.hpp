@@ -23,6 +23,7 @@
 // uncontended fetch_add (~a few ns) against ~20 us of profiling work.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
@@ -118,6 +119,41 @@ class gauge {
   std::atomic<std::int64_t> max_{0};
 };
 
+/// Number of power-of-two buckets a histogram carries: one per possible
+/// bit_width of a uint64 sample (0..64).
+inline constexpr int histogram_buckets = 65;
+
+/// Point-in-time copy of a histogram's bucket counts and totals. Bucket
+/// counts are individually monotone, so the element-wise difference of two
+/// snapshots is itself a valid snapshot describing just the samples
+/// recorded in between — that is how the engine reports per-run shard skew
+/// from process-cumulative histograms.
+struct histogram_snapshot {
+  std::uint64_t count{0};
+  std::uint64_t sum{0};
+  std::array<std::uint64_t, histogram_buckets> buckets{};
+};
+
+/// Element-wise `after - before`. Buckets that went backwards (only
+/// possible when the snapshots come from different histograms) clamp to 0.
+[[nodiscard]] histogram_snapshot snapshot_delta(
+    const histogram_snapshot& after, const histogram_snapshot& before);
+
+/// Lower bound of the smallest nonempty bucket (0 when empty) — the
+/// tightest "min sample" statement the bucket layout supports.
+[[nodiscard]] std::uint64_t snapshot_min_bound(const histogram_snapshot& s);
+
+/// Upper bound of the largest nonempty bucket (0 when empty).
+[[nodiscard]] std::uint64_t snapshot_max_bound(const histogram_snapshot& s);
+
+/// Interpolated percentile estimate, 0 < p <= 100: finds the bucket of the
+/// ceil(p/100 * count)-th smallest sample and places it on the bucket's
+/// span assuming uniform spacing of that bucket's samples. Exact for
+/// bucket 0 (all zeros); elsewhere tighter than the raw bucket upper bound
+/// the histogram::percentile query answers with. Returns 0 when empty.
+[[nodiscard]] double estimate_percentile(const histogram_snapshot& s,
+                                         double p);
+
 /// Power-of-two-bucket histogram of non-negative samples: bucket b holds
 /// the values with bit_width b, i.e. bucket 0 = {0} and bucket b =
 /// [2^(b-1), 2^b - 1]. Percentile queries answer with the upper bound of
@@ -127,7 +163,7 @@ class gauge {
 /// (hundreds per run), not per-topology ones.
 class histogram {
  public:
-  static constexpr int bucket_count = 65;  // bit_width of a uint64 is 0..64
+  static constexpr int bucket_count = histogram_buckets;
 
   histogram() = default;
   histogram(const histogram&) = delete;
@@ -151,6 +187,10 @@ class histogram {
   /// sample; requires 0 < p <= 100. Returns 0 when empty.
   [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
 
+  /// Copy of the current bucket counts and totals, for delta reporting and
+  /// the interpolated estimate_percentile queries.
+  [[nodiscard]] histogram_snapshot snapshot() const noexcept;
+
  private:
   std::atomic<std::uint64_t> buckets_[bucket_count]{};
   std::atomic<std::uint64_t> count_{0};
@@ -173,7 +213,11 @@ class metrics_registry {
   /// One JSON object describing every registered metric, keys sorted:
   ///   {"counters":{...},"gauges":{"g":{"value":..,"max":..}},
   ///    "histograms":{"h":{"count":..,"sum":..,"min":..,"max":..,
-  ///                       "p50":..,"p90":..,"p99":..}}}
+  ///                       "p50":..,"p90":..,"p99":..,
+  ///                       "p50_est":..,"p90_est":..,"p99_est":..}}}
+  /// The p* fields are bucket upper bounds (exact to a factor of 2); the
+  /// p*_est fields add the interpolated estimate_percentile values so
+  /// report tooling and humans read the same numbers.
   void write_json(std::ostream& out) const;
   [[nodiscard]] std::string to_json() const;
 

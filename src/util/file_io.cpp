@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 
 #include "util/contracts.hpp"
 
@@ -19,6 +20,33 @@ std::ofstream open_for_write(const std::string& path, const std::string& who) {
                              errno_message());
   }
   return out;
+}
+
+std::ofstream open_for_append(const std::string& path,
+                              const std::string& who) {
+  errno = 0;
+  std::ofstream out(path, std::ios::app);
+  if (!out.good()) {
+    throw precondition_error(who + ": cannot open " + path + ": " +
+                             errno_message());
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path, const std::string& who) {
+  errno = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw precondition_error(who + ": cannot read " + path + ": " +
+                             errno_message());
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  if (in.bad()) {
+    throw precondition_error(who + ": cannot read " + path + ": " +
+                             errno_message());
+  }
+  return content.str();
 }
 
 void flush_or_throw(std::ofstream& out, const std::string& path,

@@ -15,6 +15,17 @@ namespace bnf {
 [[nodiscard]] std::ofstream open_for_write(const std::string& path,
                                            const std::string& who);
 
+/// Open `path` for appending (creates when absent, keeps existing
+/// content). Same failure contract as open_for_write. Used by the run
+/// ledger, whose whole point is accumulating history across runs.
+[[nodiscard]] std::ofstream open_for_append(const std::string& path,
+                                            const std::string& who);
+
+/// Read a whole file into a string. Throws precondition_error
+/// "<who>: cannot read <path>: <errno text>" when the file is unreadable.
+[[nodiscard]] std::string read_file(const std::string& path,
+                                    const std::string& who);
+
 /// Flush `out` and verify the stream; throws precondition_error
 /// "<who>: write failed for <path>: <errno text>" on failure.
 void flush_or_throw(std::ofstream& out, const std::string& path,

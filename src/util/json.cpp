@@ -1,0 +1,293 @@
+#include "util/json.hpp"
+
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+
+namespace bnf {
+
+namespace {
+
+std::string kind_name(json_value::kind k) {
+  switch (k) {
+    case json_value::kind::null_value: return "null";
+    case json_value::kind::boolean: return "boolean";
+    case json_value::kind::number: return "number";
+    case json_value::kind::string: return "string";
+    case json_value::kind::array: return "array";
+    case json_value::kind::object: return "object";
+  }
+  return "?";
+}
+
+void expect_kind(const json_value& value, json_value::kind want,
+                 const char* what) {
+  expects(value.type() == want, std::string("json: ") + what +
+                                    " requested on a " +
+                                    kind_name(value.type()) + " value");
+}
+
+void append_utf8(std::string& out, unsigned code_point) {
+  if (code_point < 0x80) {
+    out.push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+}
+
+}  // namespace
+
+class json_parser {
+ public:
+  explicit json_parser(std::string_view text) : text_(text) {}
+
+  json_value parse_document() {
+    skip_whitespace();
+    json_value value = parse_value();
+    skip_whitespace();
+    expects(pos_ == text_.size(),
+            error("trailing content after the JSON document"));
+    return value;
+  }
+
+ private:
+  [[nodiscard]] std::string error(const std::string& what) const {
+    return "json: " + what + " (offset " + std::to_string(pos_) + ")";
+  }
+
+  [[nodiscard]] char peek() const {
+    expects(pos_ < text_.size(), error("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void consume_literal(std::string_view word) {
+    expects(text_.substr(pos_, word.size()) == word,
+            error("expected '" + std::string(word) + "'"));
+    pos_ += word.size();
+  }
+
+  json_value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        json_value value;
+        value.kind_ = json_value::kind::string;
+        value.scalar_ = parse_string();
+        return value;
+      }
+      case 't': {
+        consume_literal("true");
+        json_value value;
+        value.kind_ = json_value::kind::boolean;
+        value.bool_ = true;
+        return value;
+      }
+      case 'f': {
+        consume_literal("false");
+        json_value value;
+        value.kind_ = json_value::kind::boolean;
+        return value;
+      }
+      case 'n': {
+        consume_literal("null");
+        return json_value{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  json_value parse_object() {
+    ++pos_;  // '{'
+    json_value value;
+    value.kind_ = json_value::kind::object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_whitespace();
+      expects(peek() == '"', error("expected a quoted object key"));
+      std::string key = parse_string();
+      skip_whitespace();
+      expects(peek() == ':', error("expected ':' after object key"));
+      ++pos_;
+      skip_whitespace();
+      value.members_.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return value;
+      expects(c == ',', error("expected ',' or '}' in object"));
+    }
+  }
+
+  json_value parse_array() {
+    ++pos_;  // '['
+    json_value value;
+    value.kind_ = json_value::kind::array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_whitespace();
+      value.items_.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return value;
+      expects(c == ',', error("expected ',' or ']' in array"));
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          expects(pos_ + 4 <= text_.size(),
+                  error("truncated \\u escape"));
+          unsigned code_point = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code_point <<= 4;
+            if (h >= '0' && h <= '9') {
+              code_point |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code_point |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code_point |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              expects(false, error("bad hex digit in \\u escape"));
+            }
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default: expects(false, error("unknown string escape"));
+      }
+    }
+  }
+
+  json_value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digits_start = pos_;
+    while (pos_ < text_.size() &&
+           (std::string_view("0123456789+-.eE").find(text_[pos_]) !=
+            std::string_view::npos)) {
+      ++pos_;
+    }
+    expects(pos_ > digits_start, error("expected a JSON value"));
+    json_value value;
+    value.kind_ = json_value::kind::number;
+    value.scalar_ = std::string(text_.substr(start, pos_ - start));
+    // Validate eagerly so as_double never sees garbage later.
+    char* end = nullptr;
+    (void)std::strtod(value.scalar_.c_str(), &end);
+    expects(end == value.scalar_.c_str() + value.scalar_.size(),
+            error("malformed number '" + value.scalar_ + "'"));
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+bool json_value::as_bool() const {
+  expect_kind(*this, kind::boolean, "as_bool");
+  return bool_;
+}
+
+double json_value::as_double() const {
+  expect_kind(*this, kind::number, "as_double");
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+std::int64_t json_value::as_int() const {
+  expect_kind(*this, kind::number, "as_int");
+  return std::strtoll(scalar_.c_str(), nullptr, 10);
+}
+
+std::uint64_t json_value::as_uint() const {
+  expect_kind(*this, kind::number, "as_uint");
+  expects(scalar_.empty() || scalar_[0] != '-',
+          "json: as_uint on a negative number");
+  return std::strtoull(scalar_.c_str(), nullptr, 10);
+}
+
+const std::string& json_value::as_string() const {
+  expect_kind(*this, kind::string, "as_string");
+  return scalar_;
+}
+
+const std::string& json_value::number_text() const {
+  expect_kind(*this, kind::number, "number_text");
+  return scalar_;
+}
+
+const std::vector<json_value>& json_value::items() const {
+  expect_kind(*this, kind::array, "items");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, json_value>>& json_value::members()
+    const {
+  expect_kind(*this, kind::object, "members");
+  return members_;
+}
+
+const json_value* json_value::find(std::string_view key) const {
+  expect_kind(*this, kind::object, "find");
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const json_value& json_value::at(std::string_view key) const {
+  const json_value* value = find(key);
+  expects(value != nullptr,
+          "json: missing object member '" + std::string(key) + "'");
+  return *value;
+}
+
+json_value json_value::parse(std::string_view text) {
+  return json_parser(text).parse_document();
+}
+
+}  // namespace bnf

@@ -253,7 +253,10 @@ TEST(SinkTest, TimingFooterIsOptIn) {
                   .threads = 4,
                   .shards = 128,
                   .peak_rss_bytes = 1 << 20,
-                  .metrics_json = "{\"x\":1}"});
+                  .metrics_json = "{\"x\":1}",
+                  .shard_skew_json =
+                      "{\"shards\":128,\"wall_ms\":{\"min\":1,\"p50\":2.5,"
+                      "\"max\":9}}"});
   }
   const std::string with_timing = slurp(path);
   EXPECT_NE(with_timing.find("\"type\":\"footer\""), std::string::npos);
@@ -262,6 +265,21 @@ TEST(SinkTest, TimingFooterIsOptIn) {
   EXPECT_NE(with_timing.find("\"shards\":128"), std::string::npos);
   EXPECT_NE(with_timing.find("\"peak_rss_bytes\":1048576"), std::string::npos);
   EXPECT_NE(with_timing.find("\"metrics\":{\"x\":1}"), std::string::npos);
+  EXPECT_NE(with_timing.find("\"shard_skew\":{\"shards\":128,\"wall_ms\":"
+                             "{\"min\":1,\"p50\":2.5,\"max\":9}}"),
+            std::string::npos);
+
+  {
+    // The skew summary is optional: an empty shard_skew_json (no shard
+    // histogram samples in the run) keeps the footer free of the field.
+    jsonl_sink sink(path, /*include_timing=*/true);
+    sink.begin_run({.scenario = "toy", .seed = 1, .git_describe = "test",
+                    .params = {}});
+    run_footer footer;
+    footer.wall_seconds = 0.25;
+    sink.end_run(footer);
+  }
+  EXPECT_EQ(slurp(path).find("\"shard_skew\""), std::string::npos);
 
   {
     jsonl_sink sink(path, /*include_timing=*/false);

@@ -77,9 +77,11 @@ TEST(LintPassFixture, StaysSilent) {
 
 TEST(LintRealTree, SrcIsInvariantClean) {
   const std::string root = BILATNET_REPO_ROOT;
-  const lint_result result = run_lint(root, root + "/src");
+  const lint_result result = run_lint(
+      root, root + "/src " + root + "/bench/harness.hpp " + root +
+                "/bench/harness.cpp");
   EXPECT_EQ(result.exit_code, 0)
-      << "src/ violates a repo invariant:\n"
+      << "src/ (or the bench harness) violates a repo invariant:\n"
       << result.output;
 }
 

@@ -407,6 +407,8 @@ TEST(ObsDeterminismTest, TelemetryFlagsChangeNoResultByte) {
   const std::string wired_csv = "/tmp/bnf_obs_wired.csv";
   const std::string metrics_path = "/tmp/bnf_obs_wired_metrics.json";
   const std::string trace_path = "/tmp/bnf_obs_wired_trace.json";
+  const std::string ledger_path = "/tmp/bnf_obs_wired_ledger.jsonl";
+  std::remove(ledger_path.c_str());  // the ledger appends; start fresh
 
   std::ostringstream plain_out;
   {
@@ -426,7 +428,8 @@ TEST(ObsDeterminismTest, TelemetryFlagsChangeNoResultByte) {
                           wired_jsonl.c_str(), "--csv",
                           wired_csv.c_str(),   "--metrics",
                           metrics_path.c_str(), "--trace",
-                          trace_path.c_str(),   "--progress=0.01"};
+                          trace_path.c_str(),   "--progress=0.01",
+                          "--ledger",           ledger_path.c_str()};
     ASSERT_EQ(run_scenario_main("poa-curve",
                                 static_cast<int>(argv.size()), argv.data(),
                                 wired_out),
@@ -449,8 +452,22 @@ TEST(ObsDeterminismTest, TelemetryFlagsChangeNoResultByte) {
   EXPECT_NE(trace.find("\"scenario.run\""), std::string::npos);
   EXPECT_NE(trace.find("\"poa.pass1.shard\""), std::string::npos);
 
+  // The run ledger appended exactly one well-formed record pointing at
+  // the side files — and (asserted above) no result byte moved with it
+  // attached.
+  std::string ledger = slurp(ledger_path);
+  ASSERT_FALSE(ledger.empty());
+  ASSERT_EQ(ledger.back(), '\n');
+  ledger.pop_back();
+  EXPECT_EQ(ledger.find('\n'), std::string::npos) << "one record expected";
+  EXPECT_TRUE(json_checker(ledger).valid()) << ledger;
+  EXPECT_NE(ledger.find("\"type\":\"run\""), std::string::npos);
+  EXPECT_NE(ledger.find("\"scenario\":\"poa-curve\""), std::string::npos);
+  EXPECT_NE(ledger.find("\"shard_skew\""), std::string::npos);
+  EXPECT_NE(ledger.find(trace_path), std::string::npos);
+
   for (const auto& path : {plain_jsonl, plain_csv, wired_jsonl, wired_csv,
-                           metrics_path, trace_path}) {
+                           metrics_path, trace_path, ledger_path}) {
     std::remove(path.c_str());
   }
 }

@@ -384,6 +384,25 @@ void check_metric_name_literal(const source_file& file,
              out);
     }
   }
+  // Consumer side of the same invariant: the report analyzer and the
+  // bench harness read canonical metric names back out of serialized
+  // artifacts. A name spelled as a quoted literal there drifts silently
+  // the day a producer renames it, so these files must reference names
+  // through obs::names only.
+  if (!starts_with_any(file.rel,
+                       {"src/analysis/run_report.", "bench/harness."})) {
+    return;
+  }
+  static const std::regex name_literal_re(
+      R"("(engine|census|equilibria|gen|poa_stream|thread_pool)\.[A-Za-z0-9_.]+")");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (std::regex_search(file.lines[i].raw, name_literal_re)) {
+      report(file, i, "metric-name-literal",
+             "canonical metric name spelled as a literal in a telemetry "
+             "consumer; reference it through obs::names",
+             out);
+    }
+  }
 }
 
 void check_raw_exit(const source_file& file, std::vector<violation>& out) {

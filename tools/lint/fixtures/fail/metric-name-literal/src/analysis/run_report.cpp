@@ -1,0 +1,12 @@
+// Fixture: MUST FAIL — a telemetry consumer (the report analyzer) spells
+// a canonical metric name as a quoted literal instead of obs::names.
+namespace bnf {
+
+unsigned long long funnel_candidates();
+
+unsigned long long read_funnel() {
+  const char* name = "gen.orderly.candidates";
+  return name != nullptr ? funnel_candidates() : 0;
+}
+
+}  // namespace bnf

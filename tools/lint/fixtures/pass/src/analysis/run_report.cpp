@@ -1,0 +1,20 @@
+// Fixture: the telemetry consumers may read canonical metric names only
+// through the obs::names constants; unrelated string literals (JSON keys,
+// dotted file names) stay below the rule's radar.
+namespace bnf::obs::names {
+inline constexpr const char* orderly_candidates = "x";
+}  // namespace bnf::obs::names
+
+namespace bnf {
+
+unsigned long long counter_by_name(const char* name);
+
+unsigned long long read_funnel() {
+  const char* key = "wall_s";
+  const char* artifact = "trace.engine.json";
+  return key != nullptr && artifact != nullptr
+             ? counter_by_name(obs::names::orderly_candidates)
+             : 0;
+}
+
+}  // namespace bnf

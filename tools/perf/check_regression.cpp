@@ -1,0 +1,142 @@
+// check_regression — the CI perf gate. Compares a fresh bench JSON
+// document (bench/harness schema) against a checked-in baseline and fails
+// on regressions:
+//
+//   * wall time: REGRESSED when current > baseline * (1 + tolerance) AND
+//     the absolute excess is above `floor_s` — the floor keeps sub-second
+//     workloads from failing on scheduler noise that a ratio alone would
+//     amplify. Faster-than-baseline beyond tolerance is reported as
+//     IMPROVED (a hint to refresh the baseline) but never fails.
+//   * pinned counters: every counter listed in the baseline workload must
+//     match the current run EXACTLY. They are deterministic work counts
+//     (topologies profiled, candidates generated, ...), so any drift
+//     means the workload itself changed — that requires a deliberate
+//     baseline update, not a silent pass.
+//
+// Baseline schema (tools/perf/baseline_perf_smoke.json):
+//   {"schema":"bilatnet-perf-baseline-v1","tolerance":0.5,"floor_s":0.25,
+//    "workloads":[{"id":...,"wall_s":...,"counters":{...}},...]}
+// Per-workload "tolerance"/"floor_s" override the document defaults.
+//
+//   check_regression --baseline <json> --current <json>
+//                    [--tolerance-scale 1.0]
+//
+// Exit status: 0 when every workload is OK/IMPROVED, 1 on any regression,
+// counter mismatch or missing workload, 2 on usage/IO errors.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/arg_parse.hpp"
+#include "util/contracts.hpp"
+#include "util/file_io.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+const bnf::json_value* find_workload(const bnf::json_value& document,
+                                     const std::string& id) {
+  for (const bnf::json_value& workload : document.at("workloads").items()) {
+    if (workload.at("id").as_string() == id) return &workload;
+  }
+  return nullptr;
+}
+
+double number_or(const bnf::json_value& object, std::string_view key,
+                 double fallback) {
+  const bnf::json_value* value = object.find(key);
+  return value != nullptr && value->is_number() ? value->as_double()
+                                                : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bnf::arg_parser args("check_regression",
+                         "compare a bench JSON run against the checked-in "
+                         "perf baseline");
+    args.add_string("baseline", "", "baseline JSON (bilatnet-perf-baseline-v1)");
+    args.add_string("current", "", "fresh bench JSON (bilatnet-bench-v1)");
+    args.add_double("tolerance-scale", 1.0,
+                    "multiply every tolerance by this factor (loosen on "
+                    "noisy runners)");
+    if (args.parse(argc, argv) == bnf::parse_status::help_requested) {
+      std::cout << args.usage();
+      return 0;
+    }
+    bnf::expects(!args.get_string("baseline").empty() &&
+                     !args.get_string("current").empty(),
+                 "check_regression: --baseline and --current are required");
+
+    const bnf::json_value baseline = bnf::json_value::parse(
+        bnf::read_file(args.get_string("baseline"), "check_regression"));
+    const bnf::json_value current = bnf::json_value::parse(
+        bnf::read_file(args.get_string("current"), "check_regression"));
+    bnf::expects(baseline.at("schema").as_string() ==
+                     "bilatnet-perf-baseline-v1",
+                 "check_regression: unexpected baseline schema");
+    bnf::expects(current.at("schema").as_string() == "bilatnet-bench-v1",
+                 "check_regression: unexpected bench schema");
+
+    const double scale = args.get_double("tolerance-scale");
+    const double default_tolerance = number_or(baseline, "tolerance", 0.5);
+    const double default_floor = number_or(baseline, "floor_s", 0.25);
+
+    bool failed = false;
+    for (const bnf::json_value& want : baseline.at("workloads").items()) {
+      const std::string id = want.at("id").as_string();
+      const bnf::json_value* have = find_workload(current, id);
+      if (have == nullptr) {
+        std::cout << id << ": MISSING from the current bench run\n";
+        failed = true;
+        continue;
+      }
+      const double want_wall = want.at("wall_s").as_double();
+      const double have_wall = have->at("wall_s").as_double();
+      const double tolerance =
+          number_or(want, "tolerance", default_tolerance) * scale;
+      const double floor_s = number_or(want, "floor_s", default_floor);
+
+      std::string wall_verdict = "OK";
+      if (have_wall > want_wall * (1.0 + tolerance) &&
+          have_wall - want_wall > floor_s) {
+        wall_verdict = "REGRESSED";
+        failed = true;
+      } else if (have_wall < want_wall * (1.0 - tolerance) &&
+                 want_wall - have_wall > floor_s) {
+        wall_verdict = "IMPROVED";
+      }
+      std::cout << id << ": wall " << bnf::fmt_double(have_wall, 4)
+                << "s vs baseline " << bnf::fmt_double(want_wall, 4)
+                << "s (tolerance " << bnf::fmt_double(tolerance * 100, 0)
+                << "%, floor " << bnf::fmt_double(floor_s, 2) << "s) — "
+                << wall_verdict << "\n";
+
+      if (const bnf::json_value* pinned = want.find("counters")) {
+        const bnf::json_value& counters = have->at("counters");
+        for (const auto& [name, value] : pinned->members()) {
+          const bnf::json_value* actual = counters.find(name);
+          const std::uint64_t want_count = value.as_uint();
+          const std::uint64_t have_count =
+              actual != nullptr ? actual->as_uint() : 0;
+          if (want_count != have_count) {
+            std::cout << id << ": counter " << name << " MISMATCH: "
+                      << have_count << " vs pinned " << want_count << "\n";
+            failed = true;
+          }
+        }
+      }
+    }
+    if (failed) {
+      std::cout << "perf gate: FAILED\n";
+      return 1;
+    }
+    std::cout << "perf gate: OK\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "check_regression: " << error.what() << "\n";
+    return 2;
+  }
+}
