@@ -3,10 +3,10 @@
 #include <ostream>
 #include <utility>
 
-#include "engine/sink.hpp"  // json_escape
 #include "engine/version.hpp"
 #include "obs/metrics.hpp"
 #include "util/file_io.hpp"
+#include "util/json.hpp"  // json_escape
 #include "util/mem.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"

@@ -1,0 +1,30 @@
+// Concrete optimal networks: the closed-form witness graph and the
+// exhaustive brute-force optimum that validates it in the tests.
+//
+// These live in analysis/ rather than game/ because constructing an
+// optimum needs generators (gen/named for the complete/star witnesses,
+// gen/enumerate for the exhaustive search), and the layer DAG keeps game
+// below gen. The closed-form *costs* (optimal_social_cost,
+// efficiency_crossover, price_of_anarchy) stay in game/efficiency — they
+// are pure formulas with no construction involved.
+#pragma once
+
+#include "game/connection_game.hpp"
+#include "graph/graph.hpp"
+
+namespace bnf {
+
+/// An optimal network: complete below the crossover link cost, star above
+/// (either at the crossover). Requires n >= 1.
+[[nodiscard]] graph efficient_graph(const connection_game& game);
+
+/// Exhaustive optimum over all connected topologies (n <= 8 recommended;
+/// guards at n <= 9). For validating the closed forms.
+struct brute_force_optimum_result {
+  graph best;
+  double cost{0.0};
+};
+[[nodiscard]] brute_force_optimum_result brute_force_optimum(
+    const connection_game& game);
+
+}  // namespace bnf

@@ -1,36 +1,11 @@
 #include "engine/sink.hpp"
 
-#include <cstdio>
-
 #include "util/file_io.hpp"
+#include "util/json.hpp"
 
 namespace bnf {
 
 result_sink::~result_sink() = default;
-
-std::string json_escape(const std::string& text) {
-  std::string escaped;
-  escaped.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': escaped += "\\\""; break;
-      case '\\': escaped += "\\\\"; break;
-      case '\n': escaped += "\\n"; break;
-      case '\r': escaped += "\\r"; break;
-      case '\t': escaped += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          escaped += buffer;
-        } else {
-          escaped += c;
-        }
-    }
-  }
-  return escaped;
-}
 
 jsonl_sink::jsonl_sink(const std::string& path, bool include_timing)
     : path_(path),

@@ -61,9 +61,6 @@ class result_sink {
   virtual void end_run(const run_footer& footer) = 0;
 };
 
-/// Escape a string for inclusion in a JSON string literal (quotes excluded).
-[[nodiscard]] std::string json_escape(const std::string& text);
-
 /// JSON Lines exporter. Records:
 ///   {"type":"meta","scenario":...,"seed":N,"git":...,"params":{...}}
 ///   {"type":"row","table":<name>,"values":{<header>:<cell>,...}}

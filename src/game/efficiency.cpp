@@ -2,8 +2,6 @@
 
 #include <limits>
 
-#include "gen/enumerate.hpp"
-#include "gen/named.hpp"
 #include "util/contracts.hpp"
 
 namespace bnf {
@@ -33,30 +31,6 @@ double optimal_social_cost(const connection_game& game) {
   }
   // Star: alpha*(n-1) + 2(n-1)^2.
   return (n - 1) * (game.alpha + 2.0 * (n - 1));
-}
-
-graph efficient_graph(const connection_game& game) {
-  expects(game.n >= 1, "efficient_graph: requires n >= 1");
-  return game.alpha < efficiency_crossover(game.rule) ? complete(game.n)
-                                                      : star(game.n);
-}
-
-brute_force_optimum_result brute_force_optimum(const connection_game& game) {
-  expects(game.n >= 1 && game.n <= 9,
-          "brute_force_optimum: guard n <= 9 (exhaustive search)");
-  brute_force_optimum_result result{graph(game.n),
-                                    std::numeric_limits<double>::infinity()};
-  for_each_graph(
-      game.n,
-      [&](const graph& g) {
-        const agent_cost cost = social_cost(g, game);
-        if (cost.is_finite() && cost.finite < result.cost) {
-          result.cost = cost.finite;
-          result.best = g;
-        }
-      },
-      {.connected_only = true});
-  return result;
 }
 
 double price_of_anarchy(const graph& g, const connection_game& game) {

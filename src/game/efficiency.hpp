@@ -1,10 +1,12 @@
-// Efficient (social-cost-minimizing) networks and the price of anarchy.
+// Efficient (social-cost-minimizing) network costs and the price of
+// anarchy, in closed form.
 //
 // Closed forms (paper Lemmas 4/5 for the BCG; Fabrikant et al. for the
 // UCG): the complete graph is optimal for cheap links, the star for
 // expensive links, with the crossover at alpha = 1 (BCG) / alpha = 2 (UCG).
-// A brute-force optimum over enumerated connected topologies backs the
-// closed forms in the tests.
+// Constructing a witness optimum (and the brute-force search that backs
+// these formulas in the tests) lives in analysis/optimum — it needs the
+// gen/ layer, which sits above game/ in the layer DAG.
 #pragma once
 
 #include "game/connection_game.hpp"
@@ -15,22 +17,9 @@ namespace bnf {
 /// Social cost of the optimal network, in closed form. Requires n >= 1.
 [[nodiscard]] double optimal_social_cost(const connection_game& game);
 
-/// An optimal network: complete below the crossover link cost, star above
-/// (either at the crossover). Requires n >= 1.
-[[nodiscard]] graph efficient_graph(const connection_game& game);
-
 /// The crossover link cost below which the complete graph is efficient:
 /// 1 for the BCG, 2 for the UCG.
 [[nodiscard]] double efficiency_crossover(link_rule rule);
-
-/// Exhaustive optimum over all connected topologies (n <= 8 recommended;
-/// guards at n <= 9). For validating the closed forms.
-struct brute_force_optimum_result {
-  graph best;
-  double cost{0.0};
-};
-[[nodiscard]] brute_force_optimum_result brute_force_optimum(
-    const connection_game& game);
 
 /// Price of anarchy of a specific network: C(G) / C(G*). Requires a
 /// connected g (infinite otherwise, reported as +inf).

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/file_io.hpp"
+#include "util/json.hpp"
 
 namespace bnf::obs {
 

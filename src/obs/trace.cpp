@@ -6,9 +6,9 @@
 #include <mutex>
 #include <ostream>
 
-#include "engine/sink.hpp"  // json_escape
 #include "obs/metrics.hpp"  // this_thread_slot
 #include "util/file_io.hpp"
+#include "util/json.hpp"  // json_escape
 
 namespace bnf::obs {
 

@@ -1,9 +1,11 @@
 // Minimal JSON document model + recursive-descent parser for the repo's
 // own telemetry formats (run ledgers, --metrics snapshots, Chrome trace
-// files). Deliberately small: no external dependency, no DOM mutation, no
-// serialization — the writers in engine/sink and obs/ already own the
-// output side. Numbers are kept as their raw source text and converted on
-// demand, so 64-bit counters round-trip without double-precision loss.
+// files), plus the one serialization primitive every hand-rolled writer
+// shares (json_escape). Deliberately small: no external dependency, no
+// DOM mutation, no document writer — the writers in engine/sink and obs/
+// own their output formats and only borrow the escaper. Numbers are kept
+// as their raw source text and converted on demand, so 64-bit counters
+// round-trip without double-precision loss.
 // Object members preserve document order (vector of pairs, not a map), so
 // consumers iterate deterministically and `find` returns the first match.
 #pragma once
@@ -15,6 +17,12 @@
 #include <vector>
 
 namespace bnf {
+
+/// Escape a string for inclusion in a JSON string literal (quotes
+/// excluded): ", \, and control characters become their JSON escapes.
+/// Shared by every hand-rolled JSON writer in the tree (sinks, ledger,
+/// trace, bench harness) so the formats cannot drift apart.
+[[nodiscard]] std::string json_escape(const std::string& text);
 
 /// One parsed JSON value. Parse with json_value::parse; navigate with
 /// find/at (objects), items (arrays), and the as_* scalar accessors (which

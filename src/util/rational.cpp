@@ -35,13 +35,16 @@ rational rational::make(long long p, long long q) {
   expects(q != 0, "rational::make: zero denominator (use infinity())");
   // Work on unsigned magnitudes: negating LLONG_MIN as a signed value is
   // undefined behavior, but its magnitude 2^63 fits unsigned long long.
+  // The -(v + 1) + 1 dance stays in range at every step (v + 1 > LLONG_MIN,
+  // its negation <= LLONG_MAX), so neither the signed arithmetic nor the
+  // unsigned addition can wrap — -fsanitize=integer runs clean.
   const bool negative = (p < 0) != (q < 0);
-  unsigned long long up =
-      p < 0 ? -static_cast<unsigned long long>(p)
-            : static_cast<unsigned long long>(p);
-  unsigned long long uq =
-      q < 0 ? -static_cast<unsigned long long>(q)
-            : static_cast<unsigned long long>(q);
+  const auto magnitude = [](long long v) {
+    return v < 0 ? static_cast<unsigned long long>(-(v + 1)) + 1ULL
+                 : static_cast<unsigned long long>(v);
+  };
+  unsigned long long up = magnitude(p);
+  unsigned long long uq = magnitude(q);
   const unsigned long long divisor = std::gcd(up, uq);
   if (divisor > 1) {
     up /= divisor;
@@ -51,11 +54,13 @@ rational rational::make(long long p, long long q) {
       static_cast<unsigned long long>(std::numeric_limits<long long>::max());
   expects(uq <= max_magnitude && up <= max_magnitude + (negative ? 1U : 0U),
           "rational::make: reduced value does not fit long long");
-  // Negate in unsigned space: -(2^63) has no positive signed counterpart,
-  // but the unsigned negation converts (C++20 modular semantics) to
-  // exactly LLONG_MIN.
-  const long long num = negative ? static_cast<long long>(-up)
-                                 : static_cast<long long>(up);
+  // -(2^63) has no positive signed counterpart, so the magnitude that is
+  // exactly max + 1 maps straight to LLONG_MIN instead of being negated.
+  const long long num =
+      negative ? (up > max_magnitude
+                      ? std::numeric_limits<long long>::min()
+                      : -static_cast<long long>(up))
+               : static_cast<long long>(up);
   return {num, static_cast<long long>(uq)};
 }
 
@@ -94,10 +99,13 @@ int compare(const rational& r, double x) {
   int128 lhs = static_cast<int128>(r.num);
   int128 rhs = static_cast<int128>(mantissa) * r.den;
   if (sign_of(lhs) != sign_of(rhs)) return sign_of(lhs - rhs);
-  const int lhs_bits = bit_width_u128(
-      lhs < 0 ? -static_cast<uint128>(lhs) : static_cast<uint128>(lhs));
-  const int rhs_bits = bit_width_u128(
-      rhs < 0 ? -static_cast<uint128>(rhs) : static_cast<uint128>(rhs));
+  // Both operands are far from the 128-bit boundary (|num| < 2^63,
+  // |mantissa * den| < 2^116), so signed negation is well-defined and no
+  // modular unsigned wrap is needed for the magnitudes.
+  const int lhs_bits =
+      bit_width_u128(static_cast<uint128>(lhs < 0 ? -lhs : lhs));
+  const int rhs_bits =
+      bit_width_u128(static_cast<uint128>(rhs < 0 ? -rhs : rhs));
   const int sign = sign_of(lhs);  // common sign, non-zero from here on
   if (exponent < 0) {
     const int shift = -exponent;

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "analysis/census.hpp"
+#include "analysis/optimum.hpp"
 #include "analysis/structure.hpp"
 #include "analysis/welfare.hpp"
 #include "dynamics/intermediary.hpp"

@@ -1,5 +1,7 @@
 #include "game/efficiency.hpp"
 
+#include "analysis/optimum.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -14,6 +14,7 @@
 #include "engine/runner.hpp"
 #include "engine/sink.hpp"
 #include "util/contracts.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace bnf {

@@ -75,13 +75,33 @@ TEST(LintPassFixture, StaysSilent) {
   EXPECT_TRUE(result.output.empty()) << result.output;
 }
 
+// bench/ and examples/ are in the scan scope (not just src/): drivers
+// with ad-hoc entropy or literal metric names drift exactly like library
+// code would.
+TEST(LintBenchScopeFixture, BenchAndExamplesAreScanned) {
+  const std::string root =
+      std::string(BILATNET_LINT_FIXTURES) + "/fail/bench-scope";
+  const lint_result result =
+      run_lint(root, root + "/bench " + root + "/examples");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("bench/bad_bench_entropy.cpp"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("[raw-random]"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("examples/bad_example_metric.cpp"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("[metric-name-literal]"), std::string::npos)
+      << result.output;
+}
+
 TEST(LintRealTree, SrcIsInvariantClean) {
   const std::string root = BILATNET_REPO_ROOT;
   const lint_result result = run_lint(
-      root, root + "/src " + root + "/bench/harness.hpp " + root +
-                "/bench/harness.cpp");
+      root, root + "/src " + root + "/bench " + root + "/examples");
   EXPECT_EQ(result.exit_code, 0)
-      << "src/ (or the bench harness) violates a repo invariant:\n"
+      << "src/, bench/ or examples/ violates a repo invariant:\n"
       << result.output;
 }
 

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "analysis/census.hpp"
+#include "analysis/optimum.hpp"
 #include "equilibria/link_convexity.hpp"
 #include "equilibria/pairwise_stability.hpp"
 #include "equilibria/proper.hpp"

@@ -1,0 +1,10 @@
+#pragma once
+
+#include <chrono>
+
+inline long ticks() {
+  // analyze:allow(det-taint)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+inline long mid_ticks() { return ticks() / 2; }

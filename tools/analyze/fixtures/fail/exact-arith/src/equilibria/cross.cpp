@@ -1,0 +1,8 @@
+struct frac {
+  long long num;
+  long long den;
+};
+
+bool frac_less(const frac& a, const frac& b) {
+  return a.num * b.den < b.num * a.den;
+}

@@ -1,0 +1,4 @@
+#include "util/other.hpp"
+#include "util/messy.hpp"
+
+int messy_twice() { return messy_value() * 2; }

@@ -1,0 +1,3 @@
+#include "other.hpp"
+
+inline int messy_value() { return 3; }

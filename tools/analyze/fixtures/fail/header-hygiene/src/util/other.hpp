@@ -1,0 +1,3 @@
+#pragma once
+
+inline int other_value() { return 4; }

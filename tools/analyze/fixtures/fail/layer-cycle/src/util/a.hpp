@@ -1,0 +1,5 @@
+#pragma once
+
+#include "util/b.hpp"
+
+inline int a_value() { return b_value() + 1; }

@@ -1,0 +1,5 @@
+#pragma once
+
+#include "util/a.hpp"
+
+inline int b_value() { return 41; }

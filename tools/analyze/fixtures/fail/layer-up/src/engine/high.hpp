@@ -1,0 +1,3 @@
+#pragma once
+
+inline int engine_entry() { return 7; }

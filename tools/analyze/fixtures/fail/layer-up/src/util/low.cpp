@@ -1,0 +1,3 @@
+#include "engine/high.hpp"
+
+int low_helper() { return engine_entry(); }

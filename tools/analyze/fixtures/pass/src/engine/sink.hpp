@@ -1,0 +1,6 @@
+#pragma once
+
+struct result_sink {
+  virtual ~result_sink() = default;
+  virtual void end_run() = 0;
+};

@@ -1,0 +1,10 @@
+struct frac {
+  long long num;
+  long long den;
+};
+
+long long checked_mul(long long a, long long b);
+
+bool frac_less(const frac& a, const frac& b) {
+  return checked_mul(a.num, b.den) < checked_mul(b.num, a.den);
+}

@@ -1,0 +1,9 @@
+#pragma once
+
+// Blessed by the `allow` edge in layers.txt: the ledger implements the
+// sink interface by design.
+#include "engine/sink.hpp"
+
+struct ledger_sink : result_sink {
+  void end_run() override;
+};

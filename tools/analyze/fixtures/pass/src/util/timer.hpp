@@ -1,0 +1,7 @@
+#pragma once
+
+// The obs telemetry producers are seams: reachable from any layer, so
+// this up-include is legal.
+#include "obs/metrics.hpp"
+
+inline long timed_metric() { return metric_count(); }

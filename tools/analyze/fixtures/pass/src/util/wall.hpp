@@ -1,0 +1,7 @@
+#pragma once
+
+#include <chrono>
+
+inline long wall_ticks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
